@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every bench regenerates one paper artifact, prints it, and archives it
+under ``benchmarks/results/`` so EXPERIMENTS.md can reference the exact
+reproduced rows/series.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_report(name: str, text: str) -> str:
+    """Print and persist a report; returns the file path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+    return path

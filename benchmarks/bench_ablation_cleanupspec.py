@@ -1,0 +1,73 @@
+"""Ablation (§6): CleanupSpec vs speculative interference.
+
+The paper's related-work claim, demonstrated end to end:
+
+1. CleanupSpec blocks classic Spectre (rollback undoes squashed fills).
+2. With *deterministic* LLC replacement, the standard D-cache
+   interference PoC still works — the reordered loads A/B are
+   non-speculative, so nothing rolls back.
+3. With *randomized* LLC replacement (CleanupSpec's countermeasure),
+   the QLRU replacement-state receiver decodes noise ...
+4. ... but the paper's proposed W+1 occupancy sender re-establishes the
+   channel — at a much higher per-bit cost ("makes its exploitation
+   more challenging", quantified).
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.attack import (
+    ATTACK_HIERARCHY_RANDOM_LLC,
+    DCacheAttack,
+    OccupancyAttack,
+)
+from repro.core.spectre import spectre_leak_trial
+
+from _common import emit_report
+
+BITS = (0, 1, 1, 0, 1, 0)
+
+
+def accuracy(attack, bits=BITS):
+    trials = [attack.send_bit(b) for b in bits]
+    correct = sum(t.correct for t in trials)
+    cycles = sum(t.cycles for t in trials) / len(trials)
+    return correct / len(bits), cycles
+
+
+def run_ablation():
+    spectre_blocked = not spectre_leak_trial("cleanupspec", 7).leaked
+    acc_qlru_det, cyc_det = accuracy(DCacheAttack("cleanupspec"))
+    acc_qlru_rand, cyc_rand = accuracy(
+        DCacheAttack("cleanupspec", hierarchy_config=ATTACK_HIERARCHY_RANDOM_LLC)
+    )
+    acc_occ, cyc_occ = accuracy(OccupancyAttack("cleanupspec", trials_per_bit=48))
+    return spectre_blocked, [
+        ("Spectre v1", "qlru", "blocked" if spectre_blocked else "LEAKS", "-"),
+        ("GDNPEU + QLRU receiver", "qlru", f"{acc_qlru_det:.2f}", f"{cyc_det:,.0f}"),
+        ("GDNPEU + QLRU receiver", "random", f"{acc_qlru_rand:.2f}", f"{cyc_rand:,.0f}"),
+        ("W+1 occupancy sender", "random", f"{acc_occ:.2f}", f"{cyc_occ:,.0f}"),
+    ], (acc_qlru_det, acc_qlru_rand, acc_occ)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_ablation_cleanupspec(benchmark):
+    spectre_blocked, rows, (det, rand, occ) = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    text = format_table(
+        ["attack", "LLC policy", "bit accuracy", "cycles/bit"],
+        rows,
+        title="CleanupSpec ablation (§6): rollback + randomized replacement",
+        align_right=[2, 3],
+    )
+    text += (
+        "\n\nreading: rollback stops Spectre but not interference; "
+        "randomizing replacement stops the QLRU receiver but the W+1 "
+        "occupancy sender leaks anyway, ~50x more victim invocations/bit."
+    )
+    emit_report("ablation_cleanupspec", text)
+    assert spectre_blocked
+    assert det == 1.0          # interference beats rollback
+    assert rand <= 0.5 + 1e-9  # randomized replacement kills QLRU decode
+    assert occ == 1.0          # occupancy sender restores the channel

@@ -1,0 +1,82 @@
+"""Figure 8: QLRU state walk of the replacement-state receiver.
+
+Replays the §4.2.2 prime -> victim(A-B / B-A) -> probe protocol against
+one 16-way QLRU_H11_M1_R0_U0 set and prints the per-way (line, age)
+state after each phase — the reproduction of Figure 8(a)-(c).
+"""
+
+import pytest
+
+from repro.memory.cache import Cache
+
+from _common import emit_report
+
+WAYS = 16
+LINE = 64
+
+
+def addr(i):
+    return i * LINE
+
+
+def label_for(line, names):
+    return names.get(line, "?")
+
+
+def render_state(cache, names, phase):
+    contents = cache.set_contents(0)
+    ages = cache.set_policy_state(0)
+    row_lines = "  ".join(f"{label_for(l, names):>5s}" for l in contents)
+    row_ages = "  ".join(f"{a:>5d}" for a in ages)
+    return f"{phase}\n  line: {row_lines}\n  age : {row_ages}"
+
+
+def run_protocol(order):
+    cache = Cache("llc-set", num_sets=1, num_ways=WAYS, policy="qlru")
+    evs1 = [addr(i) for i in range(WAYS - 1)]
+    evs2 = [addr(100 + i) for i in range(WAYS - 1)]
+    a, b = addr(50), addr(51)
+    names = {line: f"EV{i}" for i, line in enumerate(evs1)}
+    names.update({line: f"EV{15 + i}" for i, line in enumerate(evs2)})
+    names[a], names[b] = "A", "B"
+
+    def access(line):
+        if not cache.access(line):
+            cache.fill(line)
+
+    states = []
+    for _ in range(4):
+        for line in evs1:
+            access(line)
+    access(a)
+    states.append(render_state(cache, names, "(a) after prime (EVS1 x4 + A)"))
+    for line in order(a, b):
+        access(line)
+    tag = "A-B" if order(a, b) == (a, b) else "B-A"
+    states.append(render_state(cache, names, f"(b) after victim access {tag}"))
+    for line in evs2:
+        access(line)
+    states.append(render_state(cache, names, "(c) after probe (EVS2)"))
+    resident = set(cache.set_contents(0))
+    return states, (a in resident, b in resident)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_bench_fig8_qlru_states(benchmark):
+    def both():
+        return run_protocol(lambda a, b: (a, b)), run_protocol(lambda a, b: (b, a))
+
+    (ab_states, ab_res), (ba_states, ba_res) = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    text = "Figure 8: QLRU_H11_M1_R0_U0 state walk (16-way LLC set)\n\n"
+    text += "=== victim order A-B (secret 0) ===\n"
+    text += "\n".join(ab_states)
+    text += f"\n  => A resident: {ab_res[0]}, B resident: {ab_res[1]}\n\n"
+    text += "=== victim order B-A (secret 1) ===\n"
+    text += "\n".join(ba_states)
+    text += f"\n  => A resident: {ba_res[0]}, B resident: {ba_res[1]}\n\n"
+    text += "decoding rule: A resident <=> victim issued B-A (secret 1)"
+    emit_report("fig8_qlru_states", text)
+    assert ab_res == (False, True)
+    assert ba_res == (True, False)

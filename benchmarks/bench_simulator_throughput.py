@@ -1,0 +1,67 @@
+"""Simulator micro-throughput (not a paper figure).
+
+pytest-benchmark timing of the substrate itself — cache accesses,
+pipeline cycles, full victim trials — so performance regressions in the
+simulator are visible.
+"""
+
+import pytest
+
+from repro.core.harness import run_victim_trial
+from repro.core.victims import gdnpeu_victim
+from repro.isa import ProgramBuilder
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import CacheHierarchy
+from repro.pipeline import Core
+from repro.workloads.synthetic import workload_by_name
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_bench_cache_access_throughput(benchmark):
+    cache = Cache("bench", num_sets=64, num_ways=16, policy="qlru")
+
+    def body():
+        for i in range(1000):
+            addr = (i * 2654435761) & 0xFFFFF
+            if not cache.access(addr):
+                cache.fill(addr)
+
+    benchmark(body)
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_bench_pipeline_cycle_throughput(benchmark):
+    workload = workload_by_name("ilp")
+
+    def body():
+        hierarchy = CacheHierarchy(1)
+        core = Core(0, workload.program, hierarchy)
+        core.run(max_cycles=100_000)
+        return core.stats.cycles
+
+    benchmark(body)
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_bench_full_victim_trial(benchmark):
+    spec = gdnpeu_victim()
+
+    def body():
+        return run_victim_trial(spec, "dom-nontso", 1).cycles
+
+    benchmark(body)
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_bench_memory_bound_core(benchmark):
+    workload = workload_by_name("pointer_chase")
+
+    def body():
+        hierarchy = CacheHierarchy(1)
+        for addr, value in workload.memory_image.items():
+            hierarchy.memory.write(addr, value)
+        core = Core(0, workload.program, hierarchy)
+        core.run(max_cycles=500_000)
+        return core.stats.cycles
+
+    benchmark(body)

@@ -1,0 +1,55 @@
+"""Table 1: invisible-speculation vulnerability matrix.
+
+Regenerates the paper's Table 1 by running every (gadget, ordering,
+scheme) attack cell and reporting which schemes show secret-dependent
+ordering of unprotected LLC accesses.
+
+Expected pattern (paper Table 1):
+  GDNPEU  VD-VD: InvisiSpec(Spectre), DoM(non-TSO), SafeSpec(WFB)
+          VD-AD, VI-AD: all invisible-speculation schemes
+  GDMSHR  VD-VD: InvisiSpec(Spectre), SafeSpec(WFB)
+          VD-AD, VI-AD: InvisiSpec, SafeSpec, MuonTrap
+  GIRS    VI-AD: InvisiSpec, DoM
+Fence defenses (not in the paper's table): invulnerable everywhere.
+"""
+
+import pytest
+
+from repro.core.matrix import format_matrix, run_matrix
+
+from _common import emit_report
+
+
+def build_matrix():
+    cells = run_matrix()
+    vulnerable = [c for c in cells if c.vulnerable]
+    return cells, vulnerable
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1_matrix(benchmark):
+    cells, vulnerable = benchmark.pedantic(build_matrix, rounds=1, iterations=1)
+    lines = [format_matrix(cells), "", "Per-cell detail (vulnerable cells):"]
+    for cell in vulnerable:
+        lines.append(
+            f"  {cell.gadget:8s} {cell.ordering:6s} {cell.scheme:24s} "
+            f"t0={cell.t_secret0} t1={cell.t_secret1}  {cell.detail}"
+        )
+    emit_report("table1_matrix", "\n".join(lines))
+    # sanity: the headline pattern of Table 1
+    def vuln(g, o):
+        return {c.scheme for c in vulnerable if c.gadget == g and c.ordering == o}
+
+    assert vuln("gdnpeu", "vd-vd") == {
+        "invisispec-spectre",
+        "dom-nontso",
+        "safespec-wfb",
+    }
+    assert vuln("gdmshr", "vd-vd") == {"invisispec-spectre", "safespec-wfb"}
+    assert vuln("girs", "vi-ad") == {
+        "invisispec-spectre",
+        "invisispec-futuristic",
+        "dom-nontso",
+        "dom-tso",
+    }
+    assert not any(c.scheme.startswith("fence") for c in vulnerable)

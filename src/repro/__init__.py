@@ -1,0 +1,22 @@
+"""repro — reproduction of "Speculative Interference Attacks: Breaking
+Invisible Speculation Schemes" (ASPLOS 2021).
+
+Subpackages:
+
+* :mod:`repro.isa` — tiny typed ISA, program builder, golden interpreter
+* :mod:`repro.memory` — caches, replacement policies (exact QLRU), MSHRs,
+  multi-level hierarchy, MESI coherence, eviction sets
+* :mod:`repro.pipeline` — cycle-level out-of-order core + scheme API
+* :mod:`repro.schemes` — invisible-speculation schemes and defenses
+* :mod:`repro.system` — multicore machine, attacker agent, noise, stats
+* :mod:`repro.core` — the paper's attacks: gadgets, victims, receivers,
+  PoCs, Table 1 matrix, security-property checker
+* :mod:`repro.workloads` — synthetic SPEC stand-in + program generators
+* :mod:`repro.analysis` — timelines, histograms, report tables
+
+Start with ``examples/quickstart.py`` or ``docs/API.md``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

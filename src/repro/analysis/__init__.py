@@ -1,0 +1,13 @@
+"""Analysis and presentation: ASCII timelines, histograms, reports."""
+
+from repro.analysis.histogram import Histogram, ascii_histogram
+from repro.analysis.timeline import render_timeline, timeline_rows
+from repro.analysis.reporting import format_table
+
+__all__ = [
+    "Histogram",
+    "ascii_histogram",
+    "render_timeline",
+    "timeline_rows",
+    "format_table",
+]

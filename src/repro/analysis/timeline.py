@@ -1,0 +1,117 @@
+"""ASCII pipeline timelines — the Figure 3/4/5 attack-timeline views.
+
+Renders per-instruction lifetimes (fetch -> dispatch -> issue ->
+complete -> retire/squash) from a traced core, so the interference
+cascades can be *seen*: the gadget occupying the non-pipelined unit
+while the f-chain waits, the MSHR-blocked victim load, the frozen
+frontend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.pipeline.core import Core
+from repro.pipeline.dyninstr import DynInstr, Phase
+
+
+@dataclass
+class TimelineRow:
+    seq: int
+    name: str
+    fetch: Optional[int]
+    dispatch: Optional[int]
+    issue: Optional[int]
+    complete: Optional[int]
+    retire: Optional[int]
+    squashed: bool
+
+    @property
+    def start(self) -> Optional[int]:
+        return self.fetch
+
+    @property
+    def end(self) -> Optional[int]:
+        for value in (self.retire, self.complete, self.issue, self.dispatch, self.fetch):
+            if value is not None:
+                return value
+        return None
+
+
+def timeline_rows(
+    core: Core, *, names: Optional[Sequence[str]] = None
+) -> List[TimelineRow]:
+    """Extract rows from a core run with ``trace=True``.
+
+    ``names``: restrict (by instruction name prefix match) and preserve
+    dynamic order.
+    """
+    rows = []
+    for instr in sorted(core.trace, key=lambda i: i.seq):
+        if names is not None and not any(instr.name.startswith(n) for n in names):
+            continue
+        ev = instr.events
+        rows.append(
+            TimelineRow(
+                seq=instr.seq,
+                name=instr.name,
+                fetch=ev.get("fetch"),
+                dispatch=ev.get("dispatch"),
+                issue=ev.get("issue"),
+                complete=ev.get("complete"),
+                retire=ev.get("retire"),
+                squashed=instr.phase is Phase.SQUASHED,
+            )
+        )
+    return rows
+
+
+def render_timeline(
+    rows: Sequence[TimelineRow],
+    *,
+    width: int = 90,
+    title: str = "",
+) -> str:
+    """Gantt-style view: ``.`` waiting, ``=`` executing, ``F/D/I/C/R``
+    stage markers, ``x`` squashed."""
+    rows = [r for r in rows if r.start is not None]
+    if not rows:
+        return f"{title}\n(no events)"
+    t0 = min(r.start for r in rows)
+    t1 = max(r.end or r.start for r in rows)
+    span = max(1, t1 - t0)
+    scale = min(1.0, (width - 1) / span)
+
+    def col(cycle: Optional[int]) -> Optional[int]:
+        if cycle is None:
+            return None
+        return int((cycle - t0) * scale)
+
+    lines = [title] if title else []
+    lines.append(
+        f"  cycles {t0}..{t1}  (F=fetch D=dispatch I=issue C=complete "
+        f"R=retire, '='=executing, 'x'=squashed)"
+    )
+    name_w = max(len(r.name) for r in rows) + 2
+    for row in rows:
+        canvas = [" "] * (width + 2)
+        c_f, c_d, c_i, c_c, c_r = (
+            col(row.fetch),
+            col(row.dispatch),
+            col(row.issue),
+            col(row.complete),
+            col(row.retire),
+        )
+        if c_f is not None and c_c is not None:
+            for c in range(c_f, c_c + 1):
+                canvas[c] = "."
+        if c_i is not None and c_c is not None:
+            for c in range(c_i, c_c + 1):
+                canvas[c] = "="
+        for mark, c in (("F", c_f), ("D", c_d), ("I", c_i), ("C", c_c), ("R", c_r)):
+            if c is not None:
+                canvas[c] = mark
+        suffix = " x" if row.squashed else ""
+        lines.append(f"  {row.name:<{name_w}s}|{''.join(canvas).rstrip()}{suffix}")
+    return "\n".join(lines)

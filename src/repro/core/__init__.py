@@ -1,0 +1,96 @@
+"""Speculative interference attacks — the paper's primary contribution.
+
+This package contains:
+
+* victim/gadget builders for the three interference gadgets —
+  :func:`~repro.core.victims.gdnpeu_victim` (non-pipelined-EU contention,
+  Fig. 3/6), :func:`~repro.core.victims.gdmshr_victim` (MSHR exhaustion,
+  Fig. 4) and :func:`~repro.core.victims.girs_victim` (reservation-station
+  back-pressure on the frontend, Fig. 5);
+* the single-trial harness (:mod:`repro.core.harness`) that prepares
+  caches, mistrains the branch predictor, runs the victim under a chosen
+  invisible-speculation scheme and extracts the visible-LLC-access times
+  of the monitored lines;
+* the Table 1 vulnerability-matrix runner (:mod:`repro.core.matrix`);
+* receivers (:mod:`repro.core.receivers`): Flush+Reload and the novel
+  QLRU replacement-state receiver of §4.2.2;
+* end-to-end PoCs (:mod:`repro.core.attack`) and the covert-channel
+  error-rate/bit-rate evaluation of Fig. 11 (:mod:`repro.core.channel`);
+* a classic Spectre v1 (:mod:`repro.core.spectre`) used to establish the
+  baseline and show invisible speculation "working";
+* the ideal-invisible-speculation checker C(E) = C(NoSpec(E)) of §5.1
+  (:mod:`repro.core.noninterference`).
+"""
+
+from repro.core.victims import (
+    VictimSpec,
+    gdnpeu_victim,
+    gdnpeu_arith_victim,
+    gdnpeu_architectural_victim,
+    gdnpeu_occupancy_victim,
+    gdnpeu_store_victim,
+    gdmshr_victim,
+    girs_victim,
+)
+from repro.core.harness import TrialResult, run_victim_trial
+from repro.core.matrix import MatrixCell, run_matrix, format_matrix
+from repro.core.receivers import (
+    FlushReloadReceiver,
+    OccupancyReceiver,
+    PrimeProbeReceiver,
+    QLRUReceiver,
+)
+from repro.core.attack import DCacheAttack, ICacheAttack, OccupancyAttack
+from repro.core.channel import ChannelPoint, evaluate_channel
+from repro.core.calibrate import (
+    CalibrationResult,
+    find_reference_cycle,
+    tune_gdnpeu_reference_chain,
+)
+from repro.core.exfiltrate import (
+    ExfiltrationReport,
+    exfiltrate,
+    exfiltrate_key,
+)
+from repro.core.spectre import SpectreV1, spectre_leak_trial
+from repro.core.noninterference import (
+    llc_trace,
+    nospec_trace,
+    check_ideal_invisible_speculation,
+)
+
+__all__ = [
+    "VictimSpec",
+    "gdnpeu_victim",
+    "gdnpeu_arith_victim",
+    "gdnpeu_architectural_victim",
+    "gdnpeu_occupancy_victim",
+    "gdnpeu_store_victim",
+    "gdmshr_victim",
+    "girs_victim",
+    "TrialResult",
+    "run_victim_trial",
+    "MatrixCell",
+    "run_matrix",
+    "format_matrix",
+    "FlushReloadReceiver",
+    "OccupancyReceiver",
+    "PrimeProbeReceiver",
+    "QLRUReceiver",
+    "DCacheAttack",
+    "ICacheAttack",
+    "OccupancyAttack",
+    "ChannelPoint",
+    "evaluate_channel",
+    "CalibrationResult",
+    "find_reference_cycle",
+    "tune_gdnpeu_reference_chain",
+    "ExfiltrationReport",
+    "exfiltrate",
+    "exfiltrate_key",
+    "SpectreV1",
+    "spectre_leak_trial",
+    "llc_trace",
+    "nospec_trace",
+    "check_ideal_invisible_speculation",
+]

@@ -1,0 +1,280 @@
+"""End-to-end proof-of-concept attacks (§4.2, §4.3).
+
+Both PoCs transmit one secret bit per victim invocation across physical
+cores, with the receiver reading only shared-LLC state:
+
+* :class:`DCacheAttack` — §4.2: GDNPEU sender reorders retirement-bound
+  loads A/B; the QLRU replacement-state receiver decodes the order
+  (Figure 9's five steps).
+* :class:`ICacheAttack` — §4.3: GIRS sender back-throttles the frontend
+  so the target I-line is fetched iff the transmitter hit; Flush+Reload
+  on the target line decodes the bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple, Union
+
+from repro.core.harness import ATTACKER_CORE, NOISE_CORE, prepare_machine
+from repro.core.receivers import (
+    FlushReloadReceiver,
+    OccupancyReceiver,
+    PrimeProbeReceiver,
+    QLRUReceiver,
+)
+from repro.core.victims import (
+    ATTACK_HIERARCHY,
+    VictimSpec,
+    gdnpeu_occupancy_victim,
+    gdnpeu_victim,
+    girs_victim,
+)
+from repro.memory.eviction import build_eviction_set
+from repro.memory.hierarchy import HierarchyConfig, LevelConfig
+from repro.pipeline.scheme_api import SpeculationScheme
+from repro.system.agent import AttackerAgent
+from repro.system.noise import NoiseInjector
+
+#: Hierarchy for the CleanupSpec ablation: randomized LLC replacement
+#: (defeating the QLRU receiver) and enough MSHRs that the W+1 sender's
+#: filler swarm is not MSHR-limited.
+ATTACK_HIERARCHY_RANDOM_LLC = replace(
+    ATTACK_HIERARCHY,
+    llc=LevelConfig(64, 16, latency=40, policy="random", num_slices=1),
+    l1d_mshrs=24,
+)
+
+
+@dataclass
+class BitTrial:
+    sent: int
+    received: Optional[int]
+    cycles: int
+
+    @property
+    def correct(self) -> bool:
+        return self.received == self.sent
+
+
+class _PoCBase:
+    """Shared per-bit trial loop: fresh machine, prepared caches,
+    receiver setup, victim run, decode."""
+
+    def __init__(
+        self,
+        scheme: Union[str, SpeculationScheme],
+        *,
+        hierarchy_config: Optional[HierarchyConfig] = None,
+        noise_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.scheme = scheme
+        self.hierarchy_config = hierarchy_config or ATTACK_HIERARCHY
+        self.noise_rate = noise_rate
+        self.seed = seed
+        self._trial_index = 0
+
+    def spec(self) -> VictimSpec:
+        raise NotImplementedError
+
+    def _run_bit(self, secret: int) -> BitTrial:
+        raise NotImplementedError
+
+    def send_bit(self, secret: int) -> BitTrial:
+        self._trial_index += 1
+        return self._run_bit(secret)
+
+    def send_bit_with_retries(self, secret: int, repetitions: int) -> BitTrial:
+        """Majority vote over ``repetitions`` single-bit trials — the
+        PoC-parameter knob the paper tunes for error-rate vs bit-rate."""
+        votes = []
+        cycles = 0
+        for _ in range(max(1, repetitions)):
+            trial = self.send_bit(secret)
+            cycles += trial.cycles
+            if trial.received is not None:
+                votes.append(trial.received)
+        if not votes:
+            return BitTrial(sent=secret, received=None, cycles=cycles)
+        received = 1 if sum(votes) * 2 > len(votes) else 0
+        return BitTrial(sent=secret, received=received, cycles=cycles)
+
+
+class DCacheAttack(_PoCBase):
+    """The D-cache PoC: GDNPEU sender + QLRU replacement-state receiver.
+
+    Per-bit steps (Figure 9):
+
+    1. initialize eviction sets for the A/B LLC set;
+    2. prime the LLC set's replacement state and mistrain the victim's
+       branch predictor;
+    3. the victim issues loads A and B in a secret-dependent order;
+    4. probe the set and observe residency of A;
+    5. decode: A resident -> B-A -> secret 1; A evicted -> A-B -> secret 0.
+    """
+
+    def __init__(self, scheme: Union[str, SpeculationScheme] = "dom-nontso", **kw):
+        super().__init__(scheme, **kw)
+
+    def spec(self) -> VictimSpec:
+        return gdnpeu_victim(variant="vd-vd")
+
+    def _run_bit(self, secret: int) -> BitTrial:
+        spec = self.spec()
+        machine, core, _ = prepare_machine(
+            spec, self.scheme, secret, hierarchy_config=self.hierarchy_config
+        )
+        agent = AttackerAgent(machine, ATTACKER_CORE)
+        receiver = QLRUReceiver(agent, spec.line_a, spec.line_b)
+        if self.noise_rate > 0.0:
+            pool = build_eviction_set(
+                machine.hierarchy,
+                spec.line_a,
+                4,
+                skip=2 * (machine.hierarchy.llc.num_ways - 1),
+                avoid=[spec.line_a, spec.line_b],
+            )
+            NoiseInjector(
+                machine,
+                NOISE_CORE,
+                pool,
+                rate=self.noise_rate,
+                seed=self.seed + self._trial_index,
+            ).attach()
+        machine.hierarchy.memory.reseed(self.seed + 7 * self._trial_index)
+        receiver.prime()
+        start_cycle = machine.cycle
+        machine.run(until=lambda: core.halted, max_cycles=30_000)
+        received = receiver.probe_and_decode()
+        cycles = (machine.cycle - start_cycle) + agent.busy_cycles
+        return BitTrial(sent=secret, received=received, cycles=cycles)
+
+
+class ICacheAttack(_PoCBase):
+    """The I-cache PoC: GIRS sender + Flush+Reload on the target I-line.
+
+    The target instruction lives on its own line inside the speculative
+    path (the §4.3 simplification), standing in for a shared-library
+    function.  The line is flushed before the victim runs; it ends up in
+    the LLC iff the frontend reached it before the squash, i.e. iff the
+    transmitter load hit (secret=0)."""
+
+    def __init__(
+        self,
+        scheme: Union[str, SpeculationScheme] = "dom-nontso",
+        *,
+        receiver: str = "flushreload",
+        **kw,
+    ):
+        super().__init__(scheme, **kw)
+        if receiver not in ("flushreload", "primeprobe"):
+            raise ValueError("receiver must be 'flushreload' or 'primeprobe'")
+        self.receiver_kind = receiver
+
+    def spec(self) -> VictimSpec:
+        return girs_victim()
+
+    def _run_bit(self, secret: int) -> BitTrial:
+        spec = self.spec()
+        machine, core, _ = prepare_machine(
+            spec, self.scheme, secret, hierarchy_config=self.hierarchy_config
+        )
+        agent = AttackerAgent(machine, ATTACKER_CORE)
+        target = spec.target_iline
+        if self.receiver_kind == "primeprobe":
+            return self._run_bit_primeprobe(machine, core, agent, target, secret)
+        receiver = FlushReloadReceiver(agent, [target])
+        receiver.flush_phase()
+        if self.noise_rate > 0.0:
+            # Enough congruent lines that sustained noise traffic can
+            # evict the target from its (16-way) LLC set.
+            pool = build_eviction_set(
+                machine.hierarchy,
+                target,
+                machine.hierarchy.llc.num_ways + 4,
+                avoid=[target],
+            )
+            NoiseInjector(
+                machine,
+                NOISE_CORE,
+                pool,
+                rate=self.noise_rate,
+                seed=self.seed + self._trial_index,
+            ).attach()
+        machine.hierarchy.memory.reseed(self.seed + 7 * self._trial_index)
+        start_cycle = machine.cycle
+        machine.run(until=lambda: core.halted, max_cycles=30_000)
+        observation = receiver.reload_phase()[0]
+        # line fetched (hit) <=> transmitter hit <=> secret == 0
+        received = 0 if observation.hit else 1
+        cycles = (machine.cycle - start_cycle) + agent.busy_cycles
+        return BitTrial(sent=secret, received=received, cycles=cycles)
+
+    def _run_bit_primeprobe(self, machine, core, agent, target, secret) -> BitTrial:
+        """Prime+Probe variant (§4.1: the receiver choice is not
+        fundamental for the I-cache PoC; no shared memory required)."""
+        machine.hierarchy.flush(target)  # target starts cold
+        receiver = PrimeProbeReceiver(agent, target)
+        receiver.prime()
+        start_cycle = machine.cycle
+        machine.run(until=lambda: core.halted, max_cycles=30_000)
+        # victim fetch of the target line evicted a primed line
+        received = 0 if receiver.victim_touched_set() else 1
+        cycles = (machine.cycle - start_cycle) + agent.busy_cycles
+        return BitTrial(sent=secret, received=received, cycles=cycles)
+
+
+class OccupancyAttack(_PoCBase):
+    """The §6 future-work sender vs a CleanupSpec-style defense.
+
+    Setting: the defended machine randomizes LLC replacement, so the
+    QLRU replacement-state receiver decodes noise.  The sender instead
+    reorders W+1 unprotected loads into one W-way set; whether victim
+    load A fills the set first (secret=0) or last (secret=1) shifts
+    P(A resident) from (W-1)/W to 1.  The receiver aggregates
+    ``trials_per_bit`` residency observations: any observed eviction of
+    A reveals secret=0.  A working — but far more expensive — channel,
+    quantifying the paper's "makes exploitation more challenging".
+    """
+
+    def __init__(
+        self,
+        scheme: Union[str, SpeculationScheme] = "cleanupspec",
+        *,
+        trials_per_bit: int = 48,
+        **kw,
+    ):
+        kw.setdefault("hierarchy_config", ATTACK_HIERARCHY_RANDOM_LLC)
+        super().__init__(scheme, **kw)
+        self.trials_per_bit = trials_per_bit
+
+    def spec(self) -> VictimSpec:
+        return gdnpeu_occupancy_victim()
+
+    def _observe_once(self, secret: int, trial_seed: int) -> Tuple[bool, int]:
+        spec = self.spec()
+        hier = replace(self.hierarchy_config, seed=trial_seed)
+        machine, core, _ = prepare_machine(
+            spec, self.scheme, secret, hierarchy_config=hier
+        )
+        agent = AttackerAgent(machine, ATTACKER_CORE)
+        receiver = OccupancyReceiver(agent, spec.line_a)
+        start_cycle = machine.cycle
+        machine.run(until=lambda: core.halted, max_cycles=30_000)
+        resident = receiver.observe()
+        return resident, (machine.cycle - start_cycle) + agent.busy_cycles
+
+    def _run_bit(self, secret: int) -> BitTrial:
+        cycles = 0
+        evictions = 0
+        for t in range(self.trials_per_bit):
+            resident, trial_cycles = self._observe_once(
+                secret, trial_seed=self.seed + 1000 * self._trial_index + t
+            )
+            cycles += trial_cycles
+            if not resident:
+                evictions += 1
+        # secret=1 (A last): A can never be the eviction victim.
+        received = 0 if evictions > 0 else 1
+        return BitTrial(sent=secret, received=received, cycles=cycles)

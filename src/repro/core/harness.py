@@ -1,0 +1,181 @@
+"""Single-trial harness: prepare, mistrain, run, observe.
+
+One trial = one victim execution under one speculation scheme with one
+secret value.  The harness performs the attacker's setup steps from
+Figure 9 (prime/flush/mistrain), runs the victim, and reports when each
+monitored line made its first visible shared-LLC access — the raw
+material for both the Table 1 matrix and the end-to-end PoCs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.victims import ATTACK_HIERARCHY, VictimSpec
+from repro.memory.hierarchy import (
+    AccessKind,
+    CacheHierarchy,
+    HierarchyConfig,
+    VisibleAccess,
+)
+from repro.pipeline.branch import TwoBitPredictor
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import Core
+from repro.pipeline.scheme_api import SpeculationScheme
+from repro.schemes.registry import make_scheme
+from repro.system.agent import AttackerAgent
+from repro.system.machine import Machine
+from repro.system.noise import NoiseInjector
+
+VICTIM_CORE = 0
+NOISE_CORE = 1
+ATTACKER_CORE = 2
+
+LINE = 64
+
+
+@dataclass
+class TrialResult:
+    """Observable outcome of one victim run."""
+
+    secret: int
+    scheme: str
+    cycles: int
+    #: line address -> cycle of its first visible LLC access (None if none).
+    access_cycle: Dict[int, Optional[int]]
+    #: the victim-window slice of the visible LLC log.
+    visible: List[VisibleAccess]
+    machine: Machine = field(repr=False, default=None)
+    core: Core = field(repr=False, default=None)
+
+    def first_access(self, line: int) -> Optional[int]:
+        return self.access_cycle.get(line)
+
+    def order(self, line_x: int, line_y: int) -> Optional[str]:
+        """'xy', 'yx', or None when either access is missing."""
+        tx, ty = self.first_access(line_x), self.first_access(line_y)
+        if tx is None or ty is None or tx == ty:
+            return None
+        return "xy" if tx < ty else "yx"
+
+
+def resolve_scheme(scheme: Union[str, SpeculationScheme]) -> SpeculationScheme:
+    if isinstance(scheme, str):
+        return make_scheme(scheme)
+    return scheme
+
+
+def prepare_machine(
+    spec: VictimSpec,
+    scheme: Union[str, SpeculationScheme],
+    secret: int,
+    *,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+    core_config: Optional[CoreConfig] = None,
+    mistrain_rounds: int = 4,
+    trace: bool = False,
+) -> Tuple[Machine, Core, SpeculationScheme]:
+    """Build a machine with the victim attached and the caches prepared
+    per the spec (prime/flush/mistrain).  Does not run it."""
+    scheme_obj = resolve_scheme(scheme)
+    machine = Machine(
+        num_cores=3, hierarchy_config=hierarchy_config or ATTACK_HIERARCHY
+    )
+    hierarchy = machine.hierarchy
+    for addr, value in spec.memory_image.items():
+        hierarchy.memory.write(addr, value)
+    hierarchy.memory.write(spec.secret_addr, secret)
+
+    # Warm the victim's I-side except deliberately cold lines.
+    cold = set(spec.cold_ilines)
+    ilines = set()
+    for slot in range(len(spec.program)):
+        addr = spec.program.address_of_slot(slot)
+        ilines.add(addr & ~(LINE - 1))
+    for line in sorted(ilines - cold):
+        hierarchy.llc.fill(line, update=False)
+        hierarchy.l2[VICTIM_CORE].fill(line, update=False)
+        hierarchy.l1i[VICTIM_CORE].fill(line, update=False)
+
+    # Prime the victim-side data lines (stand-in for a warm-up victim
+    # invocation), then flush the attacker-flushed lines.
+    machine.warm_data(VICTIM_CORE, spec.prime_l1, level="L1")
+    for line in spec.flush_lines:
+        hierarchy.flush(line)
+
+    predictor = TwoBitPredictor()
+    predictor.train(spec.branch_slot, True, times=mistrain_rounds)
+    core = machine.attach(
+        VICTIM_CORE,
+        spec.program,
+        scheme_obj,
+        config=core_config or spec.core_config,
+        predictor=predictor,
+        registers=dict(spec.registers),
+        trace=trace,
+    )
+    return machine, core, scheme_obj
+
+
+def run_victim_trial(
+    spec: VictimSpec,
+    scheme: Union[str, SpeculationScheme],
+    secret: int,
+    *,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+    core_config: Optional[CoreConfig] = None,
+    reference_accesses: Sequence[Tuple[int, int]] = (),
+    noise_rate: float = 0.0,
+    noise_pool: Sequence[int] = (),
+    seed: int = 0,
+    max_cycles: int = 20_000,
+    trace: bool = False,
+    extra_lines: Sequence[int] = (),
+) -> TrialResult:
+    """Run one prepared victim to completion and observe the LLC log.
+
+    ``reference_accesses`` are the attacker's fixed-time "clock" accesses
+    of §3.3 (``(address, cycle)`` pairs, issued from the attacker core).
+    """
+    if secret not in (0, 1):
+        raise ValueError("secret must be a bit")
+    machine, core, scheme_obj = prepare_machine(
+        spec,
+        scheme,
+        secret,
+        hierarchy_config=hierarchy_config,
+        core_config=core_config,
+        trace=trace,
+    )
+    agent = AttackerAgent(machine, ATTACKER_CORE)
+    for addr, cycle in reference_accesses:
+        agent.schedule_read(addr, cycle)
+    if noise_rate > 0.0:
+        injector = NoiseInjector(
+            machine, NOISE_CORE, list(noise_pool), rate=noise_rate, seed=seed
+        )
+        injector.attach()
+    machine.hierarchy.memory.reseed(seed + 1)
+
+    log_start = len(machine.hierarchy.visible_log)
+    machine.run(until=lambda: core.halted, max_cycles=max_cycles)
+    window = machine.hierarchy.log_since(log_start)
+
+    monitored = list(spec.monitored_lines()) + [
+        addr & ~(LINE - 1) for addr, _ in reference_accesses
+    ] + [line & ~(LINE - 1) for line in extra_lines]
+    access_cycle: Dict[int, Optional[int]] = {}
+    for line in monitored:
+        access_cycle[line] = next(
+            (e.cycle for e in window if e.line == line), None
+        )
+    return TrialResult(
+        secret=secret,
+        scheme=scheme_obj.name,
+        cycles=machine.cycle,
+        access_cycle=access_cycle,
+        visible=window,
+        machine=machine,
+        core=core,
+    )

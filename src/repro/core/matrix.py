@@ -1,0 +1,175 @@
+"""Table 1: the invisible-speculation vulnerability matrix.
+
+For every (gadget, ordering, scheme) cell the runner determines whether
+the secret changes the order of two unprotected LLC accesses — which the
+paper treats as equivalent to a covert channel (§3.3).
+
+* **VD-VD** — both accesses are victim loads (A and B); vulnerable iff
+  their order in the visible log flips with the secret.
+* **VD-AD** — the reference is an attacker access at a fixed cycle;
+  vulnerable iff load A's visible access straddles a (calibrated) fixed
+  reference time.  Calibration mimics the attacker's offline tuning.
+* **VI-AD** — as VD-AD but the monitored access is an instruction-line
+  fetch; for GIRS the channel also manifests as presence/absence of the
+  target I-line fill (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.harness import TrialResult, run_victim_trial
+from repro.core.victims import (
+    ADDR_REF,
+    VictimSpec,
+    gdmshr_victim,
+    gdnpeu_victim,
+    girs_victim,
+)
+
+#: Minimum secret-induced shift (cycles) to call a cell vulnerable.
+MARGIN = 8
+
+#: Scheme order of the printed matrix (matches Table 1's scope).
+DEFAULT_SCHEMES = [
+    "invisispec-spectre",
+    "invisispec-futuristic",
+    "dom-nontso",
+    "dom-tso",
+    "safespec-wfb",
+    "safespec-wfc",
+    "muontrap",
+    "condspec",
+    "fence-spectre",
+    "fence-futuristic",
+]
+
+ORDERINGS = ("vd-vd", "vd-ad", "vi-ad")
+GADGETS = ("gdnpeu", "gdmshr", "girs")
+
+
+@dataclass
+class MatrixCell:
+    gadget: str
+    ordering: str
+    scheme: str
+    vulnerable: bool
+    #: Monitored access time for secret=0 / secret=1 (None = no access).
+    t_secret0: Optional[int]
+    t_secret1: Optional[int]
+    detail: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.gadget, self.ordering, self.scheme)
+
+
+def _victim_for(gadget: str, ordering: str) -> Optional[VictimSpec]:
+    if gadget == "gdnpeu":
+        if ordering in ("vd-vd", "vd-ad"):
+            return gdnpeu_victim(variant="vd-vd")
+        return gdnpeu_victim(variant="vi-ad")
+    if gadget == "gdmshr":
+        if ordering in ("vd-vd", "vd-ad"):
+            return gdmshr_victim(variant="vd-vd")
+        return gdmshr_victim(variant="vi-ad")
+    if gadget == "girs":
+        if ordering == "vi-ad":
+            return girs_victim()
+        return None  # GIRS only influences instruction fetches (§3.2.2)
+    raise ValueError(f"unknown gadget {gadget}")
+
+
+def _monitored_line(spec: VictimSpec, ordering: str) -> int:
+    if ordering in ("vd-vd", "vd-ad"):
+        assert spec.line_a is not None
+        return spec.line_a
+    assert spec.target_iline is not None
+    return spec.target_iline
+
+
+def evaluate_cell(gadget: str, ordering: str, scheme: str) -> MatrixCell:
+    """Run the (up to four) trials needed to judge one matrix cell."""
+    spec = _victim_for(gadget, ordering)
+    if spec is None:
+        return MatrixCell(gadget, ordering, scheme, False, None, None, "n/a")
+    line = _monitored_line(spec, ordering)
+
+    if ordering == "vd-vd":
+        r0 = run_victim_trial(spec, scheme, 0)
+        r1 = run_victim_trial(spec, scheme, 1)
+        t0, t1 = r0.first_access(line), r1.first_access(line)
+        order0 = r0.order(spec.line_a, spec.line_b)
+        order1 = r1.order(spec.line_a, spec.line_b)
+        vulnerable = (
+            order0 is not None and order1 is not None and order0 != order1
+        )
+        detail = f"order(A,B): s0={order0} s1={order1}"
+        return MatrixCell(gadget, ordering, scheme, vulnerable, t0, t1, detail)
+
+    # VD-AD / VI-AD: calibrate the reference time, then verify the order
+    # of the monitored access against a real attacker access at that time.
+    c0 = run_victim_trial(spec, scheme, 0)
+    c1 = run_victim_trial(spec, scheme, 1)
+    t0, t1 = c0.first_access(line), c1.first_access(line)
+    if t0 is None and t1 is None:
+        return MatrixCell(
+            gadget, ordering, scheme, False, t0, t1, "no visible access"
+        )
+    if (t0 is None) != (t1 is None):
+        # Presence/absence channel (the GIRS §4.3 variant).
+        return MatrixCell(
+            gadget, ordering, scheme, True, t0, t1, "presence/absence"
+        )
+    if abs(t0 - t1) < MARGIN:
+        return MatrixCell(
+            gadget, ordering, scheme, False, t0, t1, f"shift {abs(t0-t1)} < {MARGIN}"
+        )
+    ref_cycle = (t0 + t1) // 2
+    v0 = run_victim_trial(
+        spec, scheme, 0, reference_accesses=[(ADDR_REF, ref_cycle)]
+    )
+    v1 = run_victim_trial(
+        spec, scheme, 1, reference_accesses=[(ADDR_REF, ref_cycle)]
+    )
+    o0 = v0.order(line, ADDR_REF)
+    o1 = v1.order(line, ADDR_REF)
+    vulnerable = o0 is not None and o1 is not None and o0 != o1
+    detail = f"ref@{ref_cycle}: s0={o0} s1={o1}"
+    return MatrixCell(gadget, ordering, scheme, vulnerable, t0, t1, detail)
+
+
+def run_matrix(
+    schemes: Optional[Sequence[str]] = None,
+    gadgets: Sequence[str] = GADGETS,
+    orderings: Sequence[str] = ORDERINGS,
+) -> List[MatrixCell]:
+    cells = []
+    for gadget in gadgets:
+        for ordering in orderings:
+            for scheme in schemes or DEFAULT_SCHEMES:
+                cells.append(evaluate_cell(gadget, ordering, scheme))
+    return cells
+
+
+def format_matrix(cells: Sequence[MatrixCell]) -> str:
+    """Render in the shape of Table 1: rows = gadgets, columns =
+    orderings, cell = vulnerable schemes."""
+    by_cell: Dict[Tuple[str, str], List[str]] = {}
+    orderings = sorted({c.ordering for c in cells}, key=ORDERINGS.index)
+    gadgets = sorted({c.gadget for c in cells}, key=GADGETS.index)
+    for cell in cells:
+        if cell.vulnerable:
+            by_cell.setdefault((cell.gadget, cell.ordering), []).append(cell.scheme)
+    lines = ["Vulnerability matrix (cells list vulnerable schemes):", ""]
+    header = f"{'Gadget':10s}" + "".join(f"| {o:^40s}" for o in orderings)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for gadget in gadgets:
+        row = f"{gadget:10s}"
+        for ordering in orderings:
+            schemes = by_cell.get((gadget, ordering), [])
+            row += f"| {', '.join(schemes) or '-':40s}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Receivers: decoding victim behaviour from shared-LLC state (§4).
+
+* :class:`FlushReloadReceiver` — Yarom & Falkner's Flush+Reload, used by
+  the I-cache PoC: flush a shared line, wait, reload and time.
+* :class:`QLRUReceiver` — the paper's novel replacement-state receiver
+  (§4.2.2): decodes the *order* of two loads A-B vs B-A from the
+  QLRU_H11_M1_R0_U0 state of one LLC set, using two disjoint eviction
+  sets (EVS1 to prime, EVS2 to probe).
+
+Decoding rule (derived from the Figure 8 state walk, validated in
+``tests/memory/test_qlru.py``): after prime -> victim -> probe, line A
+remains LLC-resident iff the victim issued B before A.  So a single
+timed reload of A yields the bit: hit -> B-A (secret 1), miss -> A-B
+(secret 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.memory.eviction import build_eviction_set
+from repro.system.agent import AttackerAgent
+
+
+@dataclass
+class ReloadObservation:
+    line: int
+    latency: int
+    hit: bool
+
+
+class FlushReloadReceiver:
+    """Flush+Reload over a set of shared lines."""
+
+    def __init__(self, agent: AttackerAgent, lines: List[int]) -> None:
+        self.agent = agent
+        self.lines = list(lines)
+
+    def flush_phase(self) -> None:
+        for line in self.lines:
+            self.agent.flush(line)
+
+    def reload_phase(self) -> List[ReloadObservation]:
+        observations = []
+        for line in self.lines:
+            self.agent.evict_own_copy(line)
+            timed = self.agent.timed_read(line)
+            observations.append(
+                ReloadObservation(line=line, latency=timed.latency, hit=timed.hit)
+            )
+        return observations
+
+    def hit_lines(self) -> List[int]:
+        return [obs.line for obs in self.reload_phase() if obs.hit]
+
+
+class PrimeProbeReceiver:
+    """Classic Prime+Probe over one LLC set (Liu et al., S&P'15).
+
+    The paper notes (§4.1) the I-cache PoC's receiver choice is not
+    fundamental — Prime+Probe works where Flush+Reload does, without
+    requiring shared memory.  This receiver detects whether the victim
+    touched the monitored set at all; it cannot distinguish A-B from B-A
+    (the limitation §4.2.2 motivates the QLRU receiver with).
+    """
+
+    def __init__(self, agent: AttackerAgent, target: int) -> None:
+        self.agent = agent
+        self.target = target
+        hierarchy = agent.hierarchy
+        ways = hierarchy.llc.num_ways
+        self.prime_set = build_eviction_set(hierarchy, target, ways, avoid=[target])
+
+    def prime(self, *, rounds: int = 2) -> None:
+        """Fill the monitored set with attacker lines."""
+        for _ in range(rounds):
+            for line in self.prime_set:
+                self.agent.read(line)
+                self.agent.evict_own_copy(line)
+
+    def probe(self) -> int:
+        """Re-time every primed line; return the number of misses —
+        nonzero iff someone displaced attacker lines from the set."""
+        misses = 0
+        for line in self.prime_set:
+            self.agent.evict_own_copy(line)
+            if not self.agent.timed_read(line).hit:
+                misses += 1
+        return misses
+
+    def victim_touched_set(self) -> bool:
+        return self.probe() > 0
+
+
+class OccupancyReceiver:
+    """Occupancy-based receiver for the §6 W+1 sender (CleanupSpec
+    ablation): after the victim's W+1 reordered fills into one W-way
+    set, the *last* access is always resident; earlier ones survive only
+    if random replacement spared them.  One timed reload of A per trial
+    gives a statistical bit."""
+
+    def __init__(self, agent: AttackerAgent, line_a: int) -> None:
+        self.agent = agent
+        self.line_a = line_a
+
+    def observe(self) -> bool:
+        """True when A is LLC-resident after the victim ran."""
+        self.agent.evict_own_copy(self.line_a)
+        return self.agent.timed_read(self.line_a).hit
+
+
+class QLRUReceiver:
+    """The §4.2.2 replacement-state receiver for one LLC set."""
+
+    def __init__(
+        self,
+        agent: AttackerAgent,
+        line_a: int,
+        line_b: int,
+        *,
+        prime_rounds: int = 4,
+    ) -> None:
+        self.agent = agent
+        self.line_a = line_a
+        self.line_b = line_b
+        self.prime_rounds = prime_rounds
+        hierarchy = agent.hierarchy
+        if not hierarchy.llc.layout.same_set(line_a, line_b):
+            raise ValueError("A and B must map to the same LLC set")
+        ways = hierarchy.llc.num_ways
+        # Two disjoint eviction sets of LLC_ASSOCIATIVITY-1 lines each,
+        # congruent with A/B but not equal to them.
+        self.evs1 = build_eviction_set(
+            hierarchy, line_a, ways - 1, avoid=[line_a, line_b]
+        )
+        self.evs2 = build_eviction_set(
+            hierarchy, line_a, ways - 1, skip=ways - 1, avoid=[line_a, line_b]
+        )
+
+    # ------------------------------------------------------------------
+    def _llc_access(self, line: int) -> None:
+        """Access that reaches the LLC even on repeats: read, then drop
+        the attacker's private copy so the next read hits the LLC."""
+        self.agent.read(line)
+        self.agent.evict_own_copy(line)
+
+    def prime(self) -> None:
+        """Prime sequence: access EVS1 many times (saturating their QLRU
+        ages at 0) + access A (inserted at age 1)."""
+        for _ in range(self.prime_rounds):
+            for line in self.evs1:
+                self._llc_access(line)
+        self._llc_access(self.line_a)
+
+    def probe_and_decode(self) -> Optional[int]:
+        """Probe sequence (access EVS2) + a timed reload of A.
+
+        Returns the decoded secret bit: 1 if the victim issued B-A
+        (A still resident), 0 if A-B (A evicted) — or the same rule's
+        output under noise, which is where channel errors come from.
+        """
+        for line in self.evs2:
+            self._llc_access(line)
+        self.agent.evict_own_copy(self.line_a)
+        observation = self.agent.timed_read(self.line_a)
+        return 1 if observation.hit else 0
+
+    def set_snapshot(self) -> List[Optional[int]]:
+        """LLC set contents for diagnostics (leftmost way first)."""
+        return self.agent.hierarchy.llc.set_contents(self.line_a)
+
+    def set_ages(self) -> List[int]:
+        return self.agent.hierarchy.llc.set_policy_state(self.line_a)

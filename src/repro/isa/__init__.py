@@ -1,0 +1,42 @@
+"""Micro-architecture-neutral ISA used by the simulator.
+
+The ISA is deliberately tiny: typed ALU operations (with an execution
+port, latency, and micro-op count), loads, stores, conditional branches,
+fences, no-ops, and a halt marker.  Programs are built with
+:class:`~repro.isa.builder.ProgramBuilder` and can be executed either
+functionally (:mod:`repro.isa.interpreter`) or cycle-accurately on the
+out-of-order pipeline (:mod:`repro.pipeline`).
+"""
+
+from repro.isa.instructions import (
+    OpClass,
+    Instruction,
+    alu,
+    imm,
+    load,
+    store,
+    branch,
+    fence,
+    nop,
+    halt,
+)
+from repro.isa.program import Program
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import Interpreter, InterpreterResult
+
+__all__ = [
+    "OpClass",
+    "Instruction",
+    "Program",
+    "ProgramBuilder",
+    "Interpreter",
+    "InterpreterResult",
+    "alu",
+    "imm",
+    "load",
+    "store",
+    "branch",
+    "fence",
+    "nop",
+    "halt",
+]

@@ -1,0 +1,178 @@
+"""Fluent builder for :class:`~repro.isa.program.Program` objects.
+
+The builder is the assembly language of this project.  Attack victims,
+synthetic workloads and tests all construct programs through it::
+
+    b = ProgramBuilder()
+    b.imm("r1", 0x1000)
+    b.load("r2", ["r1"], lambda base: base, name="ld A")
+    b.branch_if(["r2"], lambda v: v < 10, "done", name="bounds check")
+    b.add("r3", "r2", "r2")
+    b.label("done")
+    b.halt()
+    prog = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.isa import instructions as ins
+from repro.isa.instructions import Instruction, OpClass
+from repro.isa.program import DEFAULT_CODE_BASE, DEFAULT_INST_SIZE, Program
+
+
+class ProgramBuilder:
+    """Accumulates instructions and labels, then builds a Program."""
+
+    def __init__(
+        self,
+        *,
+        code_base: int = DEFAULT_CODE_BASE,
+        inst_size: int = DEFAULT_INST_SIZE,
+        line_size: int = 64,
+    ) -> None:
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self.code_base = code_base
+        self.inst_size = inst_size
+        self.line_size = line_size
+
+    # ------------------------------------------------------------------
+    # structural helpers
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> "ProgramBuilder":
+        """Attach a label to the next instruction slot."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def emit(self, instruction: Instruction) -> "ProgramBuilder":
+        """Append a pre-built instruction."""
+        self._instructions.append(instruction)
+        return self
+
+    def current_slot(self) -> int:
+        return len(self._instructions)
+
+    def current_address(self) -> int:
+        return self.code_base + len(self._instructions) * self.inst_size
+
+    def align_to_line(self) -> "ProgramBuilder":
+        """Pad with NOPs so the next instruction starts a fresh I-line."""
+        while self.current_address() % self.line_size != 0:
+            self.nop(name="pad")
+        return self
+
+    # ------------------------------------------------------------------
+    # instruction emitters
+    # ------------------------------------------------------------------
+    def imm(self, dst: str, value: int, *, name: str = "") -> "ProgramBuilder":
+        return self.emit(ins.imm(dst, value, name=name))
+
+    def alu(
+        self,
+        dst: str,
+        srcs: Sequence[str],
+        compute: Callable[..., int],
+        *,
+        latency: int = 1,
+        port: int = ins.DEFAULT_ALU_PORT,
+        name: str = "",
+        micro_ops: int = 1,
+        dynamic_latency: Optional[Callable[..., int]] = None,
+    ) -> "ProgramBuilder":
+        return self.emit(
+            ins.alu(
+                dst,
+                srcs,
+                compute,
+                latency=latency,
+                port=port,
+                name=name,
+                micro_ops=micro_ops,
+                dynamic_latency=dynamic_latency,
+            )
+        )
+
+    def add(self, dst: str, a: str, b: str, *, name: str = "") -> "ProgramBuilder":
+        return self.alu(dst, [a, b], lambda x, y: x + y, name=name or "add")
+
+    def addi(self, dst: str, src: str, k: int, *, name: str = "") -> "ProgramBuilder":
+        return self.alu(dst, [src], lambda x, k=k: x + k, name=name or f"addi {k}")
+
+    def mov(self, dst: str, src: str, *, name: str = "") -> "ProgramBuilder":
+        return self.alu(dst, [src], lambda x: x, name=name or "mov")
+
+    def load(
+        self,
+        dst: str,
+        srcs: Sequence[str],
+        address: Callable[..., int],
+        *,
+        name: str = "",
+    ) -> "ProgramBuilder":
+        return self.emit(ins.load(dst, srcs, address, name=name))
+
+    def load_addr(self, dst: str, addr: int, *, name: str = "") -> "ProgramBuilder":
+        """Load from a constant address (no register dependence)."""
+        return self.emit(ins.load(dst, (), lambda addr=addr: addr, name=name))
+
+    def store(
+        self,
+        srcs: Sequence[str],
+        address: Callable[..., int],
+        value_src: str,
+        *,
+        name: str = "",
+    ) -> "ProgramBuilder":
+        return self.emit(ins.store(srcs, address, value_src, name=name))
+
+    def store_addr(self, addr: int, value_src: str, *, name: str = "") -> "ProgramBuilder":
+        return self.emit(
+            ins.store((), lambda addr=addr: addr, value_src, name=name)
+        )
+
+    def branch_if(
+        self,
+        srcs: Sequence[str],
+        condition: Callable[..., bool],
+        target: str,
+        *,
+        name: str = "",
+        latency: int = 1,
+    ) -> "ProgramBuilder":
+        return self.emit(
+            ins.branch(srcs, condition, target, name=name, latency=latency)
+        )
+
+    def jump(self, target: str, *, name: str = "") -> "ProgramBuilder":
+        """Unconditional branch (never predicted, never mispredicts)."""
+        return self.emit(
+            ins.branch(
+                (), lambda: True, target, name=name or "jump", unconditional=True
+            )
+        )
+
+    def fence(self, *, name: str = "") -> "ProgramBuilder":
+        return self.emit(ins.fence(name=name))
+
+    def nop(self, *, name: str = "") -> "ProgramBuilder":
+        return self.emit(ins.nop(name=name))
+
+    def halt(self) -> "ProgramBuilder":
+        return self.emit(ins.halt())
+
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Finalize; appends a HALT if the program lacks one."""
+        instructions = list(self._instructions)
+        if not instructions or instructions[-1].opclass is not OpClass.HALT:
+            instructions.append(ins.halt())
+        return Program(
+            instructions=instructions,
+            labels=dict(self._labels),
+            code_base=self.code_base,
+            inst_size=self.inst_size,
+        )

@@ -1,0 +1,64 @@
+"""Memory-system substrate: caches, replacement policies, MSHRs, hierarchy.
+
+The proof-of-concept attacks hinge on two properties of this package:
+
+* cache state is a non-commutative function of the access sequence
+  (§3.3 of the paper) — swapping two accesses to the same set leaves a
+  different replacement state; and
+* L1-D misses require a miss-status holding register (MSHR), a finite
+  resource that speculative loads can exhaust (the GDMSHR gadget).
+"""
+
+from repro.memory.address import AddressLayout
+from repro.memory.replacement import (
+    SetPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    NRUPolicy,
+    SRRIPPolicy,
+    TreePLRUPolicy,
+    make_policy,
+    POLICY_NAMES,
+)
+from repro.memory.qlru import QLRUPolicy
+from repro.memory.coherence import CoherenceDirectory, CoherenceState
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.mshr import MSHRFile, MSHRFullError
+from repro.memory.main_memory import MainMemory
+from repro.memory.hierarchy import (
+    AccessKind,
+    AccessResult,
+    CacheHierarchy,
+    HierarchyConfig,
+    LevelConfig,
+    VisibleAccess,
+)
+from repro.memory.eviction import build_eviction_set, find_eviction_set_by_timing
+
+__all__ = [
+    "AddressLayout",
+    "SetPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "NRUPolicy",
+    "SRRIPPolicy",
+    "TreePLRUPolicy",
+    "QLRUPolicy",
+    "CoherenceDirectory",
+    "CoherenceState",
+    "make_policy",
+    "POLICY_NAMES",
+    "Cache",
+    "CacheStats",
+    "MSHRFile",
+    "MSHRFullError",
+    "MainMemory",
+    "AccessKind",
+    "AccessResult",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "LevelConfig",
+    "VisibleAccess",
+    "build_eviction_set",
+    "find_eviction_set_by_timing",
+]

@@ -1,0 +1,95 @@
+"""Miss-status holding registers (MSHRs).
+
+One MSHR tracks all outstanding misses to a single cache line; requests
+to a line that already has an MSHR coalesce onto it.  The file has a
+fixed capacity and — matching the paper's observation that no invisible
+speculation scheme changes the allocation policy — allocates to visible
+and invisible (speculative) requests alike, in issue order.  That shared
+finite capacity is what the GDMSHR interference gadget exhausts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+class MSHRFullError(RuntimeError):
+    """Raised when allocation is attempted on a full MSHR file."""
+
+
+@dataclass
+class MSHREntry:
+    line_addr: int
+    allocated_at: int
+    #: Opaque consumer tokens (pipeline load ids) waiting on this line.
+    consumers: Set[int] = field(default_factory=set)
+
+
+class MSHRFile:
+    """Fixed-capacity MSHR file with per-line coalescing."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        self.capacity = capacity
+        self._entries: Dict[int, MSHREntry] = {}
+        self.peak_occupancy = 0
+        self.allocations = 0
+        self.coalesced = 0
+        self.rejections = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def has_entry(self, line_addr: int) -> bool:
+        return line_addr in self._entries
+
+    def can_allocate(self, line_addr: int) -> bool:
+        """A request to ``line_addr`` can proceed (free slot or coalesce)."""
+        return line_addr in self._entries or not self.full
+
+    def allocate(self, line_addr: int, consumer: int, *, cycle: int = 0) -> MSHREntry:
+        """Allocate (or coalesce onto) an entry for ``line_addr``."""
+        entry = self._entries.get(line_addr)
+        if entry is not None:
+            entry.consumers.add(consumer)
+            self.coalesced += 1
+            return entry
+        if self.full:
+            self.rejections += 1
+            raise MSHRFullError(
+                f"MSHR file full ({self.capacity}) for line {line_addr:#x}"
+            )
+        entry = MSHREntry(line_addr=line_addr, allocated_at=cycle, consumers={consumer})
+        self._entries[line_addr] = entry
+        self.allocations += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        return entry
+
+    def release(self, line_addr: int) -> Optional[MSHREntry]:
+        """The miss completed: free the entry, returning it (with consumers)."""
+        return self._entries.pop(line_addr, None)
+
+    def drop_consumer(self, consumer: int) -> List[int]:
+        """Remove ``consumer`` everywhere (squash); frees entries whose
+        consumer set empties.  Returns the freed line addresses."""
+        freed = []
+        for line_addr in list(self._entries):
+            entry = self._entries[line_addr]
+            entry.consumers.discard(consumer)
+            if not entry.consumers:
+                del self._entries[line_addr]
+                freed.append(line_addr)
+        return freed
+
+    def outstanding_lines(self) -> List[int]:
+        return list(self._entries)
+
+    def reset(self) -> None:
+        self._entries.clear()

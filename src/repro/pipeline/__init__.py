@@ -1,0 +1,43 @@
+"""Cycle-level out-of-order core.
+
+The pipeline implements the generic dynamically-scheduled design the
+paper attacks (§2.3): in-order frontend (fetch through an L1-I cache,
+fetch queue, dispatch into ROB + unified reservation stations),
+out-of-order backend (age-ordered ready-first issue to ported execution
+units — some non-pipelined — with a bandwidth-limited common data bus
+and a one-cycle wakeup delay), and in-order retirement.
+
+The three micro-architectural levers the speculative interference
+attacks pull all exist here deliberately:
+
+* a *non-pipelined* execution unit that a ready younger op can occupy
+  while an older op is still waking up (GDNPEU, Fig. 3);
+* finite L1-D MSHRs allocated in issue order to speculative and
+  non-speculative misses alike (GDMSHR, Fig. 4);
+* reservation-station back-pressure that throttles dispatch and then
+  fetch (GIRS, Fig. 5).
+"""
+
+from repro.pipeline.config import CoreConfig, PortConfig, default_ports
+from repro.pipeline.branch import (
+    BranchPredictor,
+    TwoBitPredictor,
+    StaticTakenPredictor,
+    OraclePredictor,
+)
+from repro.pipeline.dyninstr import DynInstr, Phase
+from repro.pipeline.core import Core, CoreStats
+
+__all__ = [
+    "CoreConfig",
+    "PortConfig",
+    "default_ports",
+    "BranchPredictor",
+    "TwoBitPredictor",
+    "StaticTakenPredictor",
+    "OraclePredictor",
+    "DynInstr",
+    "Phase",
+    "Core",
+    "CoreStats",
+]

@@ -1,0 +1,527 @@
+"""The out-of-order core: fetch, dispatch, issue, writeback, retire.
+
+Stage order within :meth:`Core.step` encodes the timing the attacks
+depend on (§3.2): results broadcast on the CDB during cycle *t* wake
+dependents no earlier than *t+1* (one-cycle wakeup delay), and the issue
+stage selects the **oldest ready** instruction per port — so a ready
+younger (speculative) instruction grabs a just-freed non-pipelined unit
+while an older instruction is still waking up.  That is the cascade of
+Figure 3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.isa.instructions import OpClass
+from repro.isa.program import Program
+from repro.memory.hierarchy import AccessKind, CacheHierarchy
+from repro.pipeline.branch import BranchPredictor, TwoBitPredictor
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.dyninstr import DynInstr, Phase, SourceOperand
+from repro.pipeline.execution_unit import CommonDataBus, ExecutionUnit
+from repro.pipeline.lsu import LoadStoreUnit
+from repro.pipeline.reservation_station import ReservationStation
+from repro.pipeline.rob import ROB, SafetyFlags
+from repro.pipeline.scheme_api import SpeculationScheme, is_safe
+
+
+class DeadlockError(RuntimeError):
+    """No instruction retired for an implausibly long window."""
+
+
+@dataclass
+class CoreStats:
+    cycles: int = 0
+    fetched: int = 0
+    dispatched: int = 0
+    issued: int = 0
+    retired: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    squashes: int = 0
+    squashed_instrs: int = 0
+    icache_miss_stalls: int = 0
+    fetch_stall_cycles: int = 0
+    rs_full_stalls: int = 0
+    rob_full_stalls: int = 0
+    eu_preemptions: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles else 0.0
+
+
+class Core:
+    """One out-of-order core executing one program."""
+
+    def __init__(
+        self,
+        core_id: int,
+        program: Program,
+        hierarchy: CacheHierarchy,
+        scheme: Optional[SpeculationScheme] = None,
+        *,
+        config: Optional[CoreConfig] = None,
+        predictor: Optional[BranchPredictor] = None,
+        registers: Optional[Dict[str, int]] = None,
+        trace: bool = False,
+    ) -> None:
+        self.core_id = core_id
+        self.program = program
+        self.hierarchy = hierarchy
+        self.scheme = scheme or SpeculationScheme()
+        self.config = config or CoreConfig()
+        self.predictor = predictor or TwoBitPredictor()
+        self.regfile: Dict[str, int] = dict(registers or {})
+
+        self.rob = ROB(self.config.rob_size)
+        self.rs = ReservationStation(self.config.rs_size)
+        self.eus = [
+            ExecutionUnit(i, port) for i, port in enumerate(self.config.ports)
+        ]
+        self.cdb = CommonDataBus(
+            self.config.cdb_width, arbitration=self.config.cdb_arbitration
+        )
+        self.lsu = LoadStoreUnit(core_id, hierarchy, self.scheme, self.config)
+
+        self.cycle = 0
+        self.halted = False
+        self.stats = CoreStats()
+        self.safety_flags: Dict[int, SafetyFlags] = {}
+
+        # frontend state
+        self._seq = 0
+        self.fetch_pc = 0
+        self.fetch_queue: Deque[DynInstr] = deque()
+        self._fetch_stall_until = 0
+        self._fetch_buffer: Deque[int] = deque(maxlen=self.config.fetch_buffer_lines)
+        self._pending_redirect: Optional[Tuple[int, int]] = None
+        self._halt_seen = False
+
+        # rename / value plumbing
+        self._producers: Dict[str, int] = {}
+        self._scoreboard: Dict[int, Tuple[Optional[int], int]] = {}
+        self._fences: Set[int] = set()
+
+        # diagnostics
+        self.trace_enabled = trace
+        self.trace: List[DynInstr] = []
+        self._last_progress_cycle = 0
+        self.deadlock_window = 100_000
+
+    # ==================================================================
+    # public driving API
+    # ==================================================================
+    def step(self, cycle: int) -> None:
+        """Advance one cycle (``cycle`` must increase monotonically)."""
+        if cycle <= self.cycle:
+            raise ValueError("cycles must be monotonically increasing")
+        self.cycle = cycle
+        self.stats.cycles += 1
+        if self.halted:
+            return
+        self.safety_flags = self.rob.safety_flags()
+        self._update_safety()
+        self._retire()
+        self._writeback()
+        self.lsu.retry_parked(self, cycle)
+        self._issue()
+        self._dispatch()
+        self._fetch()
+        if (
+            self.rob.empty
+            and not self.fetch_queue
+            and self._pending_redirect is None
+            and self.fetch_pc >= len(self.program)
+            and self.lsu.outstanding() == 0
+        ):
+            # Control flow ran off the end of the program (e.g. a branch
+            # to a trailing label): treat as an implicit halt.
+            self.halted = True
+            return
+        if cycle - self._last_progress_cycle > self.deadlock_window:
+            raise DeadlockError(
+                f"core {self.core_id}: no retirement for "
+                f"{self.deadlock_window} cycles (cycle {cycle}); "
+                f"ROB head: {self.rob.head()!r}"
+            )
+
+    def run(self, *, max_cycles: Optional[int] = None) -> CoreStats:
+        """Run standalone until HALT retires (single-core convenience)."""
+        limit = max_cycles or self.config.max_cycles
+        while not self.halted:
+            if self.cycle >= limit:
+                raise DeadlockError(
+                    f"core {self.core_id} exceeded {limit} cycles"
+                )
+            self.step(self.cycle + 1)
+        return self.stats
+
+    @property
+    def done(self) -> bool:
+        return self.halted
+
+    # ==================================================================
+    # safety transitions
+    # ==================================================================
+    def _update_safety(self) -> None:
+        """Fire became-safe transitions for loads, in program order.
+
+        A load's safety may also require all older loads to already be
+        safe (enforced implicitly: prefix flags only improve with age).
+        """
+        model = self.scheme.safety
+        # Snapshot: on_load_safe may squash (value-prediction replay),
+        # mutating the ROB under us.
+        for entry in list(self.rob):
+            if entry.phase is Phase.SQUASHED:
+                continue
+            if not entry.is_load or entry.became_safe:
+                continue
+            flags = self.safety_flags.get(entry.seq)
+            if flags is not None and is_safe(model, flags):
+                entry.became_safe = True
+                self.scheme.on_load_safe(self, entry)
+
+    # ==================================================================
+    # retire
+    # ==================================================================
+    def _retire(self) -> None:
+        budget = self.config.retire_width
+        while budget > 0 and not self.rob.empty:
+            head = self.rob.head()
+            if head.phase is not Phase.COMPLETED:
+                break
+            self.rob.pop_head()
+            head.phase = Phase.RETIRED
+            head.mark("retire", self.cycle)
+            self._last_progress_cycle = self.cycle
+            if head.is_store:
+                assert head.addr is not None
+                self.hierarchy.write(
+                    self.core_id, head.addr, head.value or 0, cycle=self.cycle
+                )
+            dst = head.static.dst
+            if dst is not None and not head.is_store:
+                self.regfile[dst] = head.value if head.value is not None else 0
+                if self._producers.get(dst) == head.seq:
+                    del self._producers[dst]
+            if head.is_load:
+                self.lsu.release_slot()
+            self._fences.discard(head.seq)
+            self.rs.release_held(head.seq)
+            self.scheme.on_retire(self, head)
+            self.stats.retired += 1
+            if self.trace_enabled:
+                self.trace.append(head)
+            if head.opclass is OpClass.HALT:
+                self.halted = True
+                return
+            budget -= 1
+
+    # ==================================================================
+    # writeback / branch resolution
+    # ==================================================================
+    def _writeback(self) -> None:
+        for eu in self.eus:
+            for instr in eu.drain_finished(self.cycle):
+                if instr.is_load and instr.load_state is None:
+                    # AGU finished: hand the load to the memory system.
+                    self.lsu.submit(self, instr, self.cycle)
+                else:
+                    self.cdb.enqueue(instr)
+        for load in self.lsu.collect_completions(self.cycle):
+            self.scheme.on_load_complete(self, load)
+            self.cdb.enqueue(load)
+        for instr in self.cdb.broadcast():
+            if instr.phase is Phase.SQUASHED:
+                continue
+            instr.phase = Phase.COMPLETED
+            instr.mark("complete", self.cycle)
+            if instr.static.dst is not None or instr.is_load:
+                self._scoreboard[instr.seq] = (instr.value, self.cycle)
+            if instr.is_branch:
+                self._resolve_branch(instr)
+
+    def _resolve_branch(self, branch: DynInstr) -> None:
+        branch.resolved = True
+        self.stats.branches += 1
+        assert branch.actual_taken is not None
+        if not branch.static.unconditional:
+            self.predictor.update(branch.slot, branch.actual_taken)
+        if branch.mispredicted():
+            self.stats.mispredicts += 1
+            self._squash(branch)
+
+    def _squash(self, branch: DynInstr) -> None:
+        if branch.actual_taken:
+            target = self.program.branch_target_slot(branch.slot)
+        else:
+            target = branch.slot + 1
+        self._squash_younger(branch.seq, target)
+
+    def replay_younger_than(self, instr: DynInstr, *, redirect_slot: int) -> None:
+        """Squash everything younger than ``instr`` and refetch from
+        ``redirect_slot`` — the recovery path value-prediction schemes
+        use when validation fails."""
+        self._squash_younger(instr.seq, redirect_slot)
+
+    def update_value(self, instr: DynInstr, value: int) -> None:
+        """Correct a completed instruction's result (value-prediction
+        validation): replayed consumers will read the fixed value."""
+        instr.value = value
+        entry = self._scoreboard.get(instr.seq)
+        if entry is not None:
+            self._scoreboard[instr.seq] = (value, entry[1])
+
+    def _squash_younger(self, seq: int, target: int) -> None:
+        squashed = self.rob.squash_younger_than(seq)
+        self.rs.squash_younger_than(seq)
+        for eu in self.eus:
+            eu.squash_younger_than(seq)
+        self.cdb.squash_younger_than(seq)
+        self.lsu.squash_younger_than(seq)
+        fq_squashed = list(self.fetch_queue)
+        self.fetch_queue.clear()
+        for instr in fq_squashed:
+            instr.phase = Phase.SQUASHED
+        for instr in squashed:
+            if instr.is_load:
+                self.lsu.release_slot()
+            self._scoreboard.pop(instr.seq, None)
+        self._fences = {s for s in self._fences if s <= seq}
+        self._producers = {}
+        for entry in self.rob:
+            dst = entry.static.dst
+            if dst is not None and not entry.is_store:
+                self._producers[dst] = entry.seq
+        self._pending_redirect = (
+            target,
+            self.cycle + self.config.squash_redirect_penalty,
+        )
+        self._fetch_stall_until = 0
+        self._fetch_buffer.clear()
+        self._halt_seen = False
+        self.stats.squashes += 1
+        self.stats.squashed_instrs += len(squashed) + len(fq_squashed)
+        all_squashed = squashed + fq_squashed
+        self.scheme.on_squash(self, all_squashed)
+        if self.trace_enabled:
+            self.trace.extend(squashed)
+
+    # ==================================================================
+    # issue
+    # ==================================================================
+    def _issue(self) -> None:
+        for instr in self.rs.waiting_sorted():
+            eu = self.eus[instr.static.port]
+            if not eu.can_accept(self.cycle):
+                if not self._try_preempt(eu, instr):
+                    continue
+            if self._blocked_by_fence(instr.seq):
+                continue
+            if not self._sources_ready(instr):
+                continue
+            flags = self.safety_flags.get(instr.seq)
+            if flags is not None and not self.scheme.may_issue(self, instr, flags):
+                continue
+            self._do_issue(instr, eu)
+
+    def _try_preempt(self, eu: ExecutionUnit, instr: DynInstr) -> bool:
+        """§5.4 'squashable EU': evict a younger occupant for an older,
+        ready instruction (only when the scheme opts in)."""
+        if not self.scheme.preempt_eus or eu.config.pipelined:
+            return False
+        occupant = eu.current_occupant()
+        if occupant is None or occupant.seq <= instr.seq:
+            return False
+        if self._blocked_by_fence(instr.seq) or not self._sources_ready(instr):
+            return False
+        eu.abort(occupant)
+        occupant.phase = Phase.DISPATCHED
+        self.rs.insert(occupant)
+        self.stats.eu_preemptions += 1
+        return eu.can_accept(self.cycle)
+
+    def _blocked_by_fence(self, seq: int) -> bool:
+        return any(f < seq for f in self._fences)
+
+    def _sources_ready(self, instr: DynInstr) -> bool:
+        for src in instr.sources:
+            if src.producer_seq is None:
+                continue
+            if src.value is not None:
+                continue
+            entry = self._scoreboard.get(src.producer_seq)
+            if entry is None or entry[1] >= self.cycle:
+                return False
+            src.value = entry[0]
+        return True
+
+    def _do_issue(self, instr: DynInstr, eu: ExecutionUnit) -> None:
+        values = instr.source_values()
+        oc = instr.opclass
+        latency = instr.static.latency
+        if instr.static.dynamic_latency is not None:
+            # Operand-dependent execution time (a transmitter, §3.2.2).
+            latency = max(1, instr.static.dynamic_latency(*values))
+        if oc is OpClass.ALU:
+            instr.value = instr.static.compute(*values)
+        elif oc is OpClass.BRANCH:
+            instr.actual_taken = bool(instr.static.compute(*values))
+        elif oc is OpClass.LOAD:
+            instr.addr = instr.static.compute(*values)
+            latency = 1  # AGU; memory latency comes from the LSU
+        elif oc is OpClass.STORE:
+            instr.addr = instr.static.compute(*values[:-1])
+            instr.value = values[-1]
+            latency = 1
+        hold = self.scheme.hold_rs_until_safe
+        self.rs.remove_on_issue(instr, hold_slot=hold)
+        eu.issue(instr, self.cycle, latency)
+        instr.phase = Phase.ISSUED
+        instr.mark("issue", self.cycle)
+        self.stats.issued += 1
+
+    # ==================================================================
+    # dispatch
+    # ==================================================================
+    def _dispatch(self) -> None:
+        budget = self.config.dispatch_width
+        while budget > 0 and self.fetch_queue:
+            instr = self.fetch_queue[0]
+            if self.rob.full:
+                self.stats.rob_full_stalls += 1
+                return
+            oc = instr.opclass
+            needs_rs = oc in (OpClass.ALU, OpClass.BRANCH, OpClass.LOAD, OpClass.STORE)
+            if needs_rs:
+                if not self.rs.can_accept(instr):
+                    self.stats.rs_full_stalls += 1
+                    return
+                if oc is OpClass.LOAD and not self.lsu.can_accept():
+                    return
+            self.fetch_queue.popleft()
+            self._rename(instr)
+            if oc is OpClass.STORE and not instr.static.srcs:
+                # Register-free store address: resolved at dispatch (an
+                # immediate AGU µop), so it never blocks younger loads
+                # on memory disambiguation.
+                instr.addr = instr.static.compute()
+            self.rob.push(instr)
+            instr.phase = Phase.DISPATCHED
+            instr.mark("dispatch", self.cycle)
+            self.stats.dispatched += 1
+            if needs_rs:
+                self.rs.insert(instr)
+                if oc is OpClass.LOAD:
+                    self.lsu.allocate_slot()
+                dst = instr.static.dst
+                if dst is not None and not instr.is_store:
+                    self._producers[dst] = instr.seq
+            else:
+                instr.phase = Phase.COMPLETED
+                instr.mark("complete", self.cycle)
+                if oc is OpClass.FENCE:
+                    self._fences.add(instr.seq)
+            budget -= 1
+
+    def _rename(self, instr: DynInstr) -> None:
+        sources: List[SourceOperand] = []
+        regs = list(instr.static.srcs)
+        if instr.is_store:
+            regs.append(instr.static.value_src)  # type: ignore[arg-type]
+        for reg in regs:
+            producer = self._producers.get(reg)
+            if producer is not None:
+                sources.append(SourceOperand(reg, producer))
+            else:
+                sources.append(SourceOperand(reg, None, self.regfile.get(reg, 0)))
+        instr.sources = sources
+
+    # ==================================================================
+    # fetch
+    # ==================================================================
+    def _fetch(self) -> None:
+        if self._pending_redirect is not None:
+            slot, at_cycle = self._pending_redirect
+            if self.cycle < at_cycle:
+                return
+            self.fetch_pc = slot
+            self._pending_redirect = None
+        if self._halt_seen:
+            return
+        if self.cycle < self._fetch_stall_until:
+            self.stats.fetch_stall_cycles += 1
+            return
+        budget = self.config.fetch_width
+        line_size = self.hierarchy.llc.layout.line_size
+        while (
+            budget > 0
+            and len(self.fetch_queue) < self.config.fetch_queue_size
+            and self.fetch_pc < len(self.program)
+        ):
+            slot = self.fetch_pc
+            static = self.program.at(slot)
+            pc_addr = self.program.address_of_slot(slot)
+            line = pc_addr & ~(line_size - 1)
+            if line not in self._fetch_buffer:
+                speculative = self._fetch_is_speculative()
+                visible = self.scheme.fetch_visible(self, speculative)
+                result = self.hierarchy.access(
+                    self.core_id,
+                    pc_addr,
+                    AccessKind.INST,
+                    visible=visible,
+                    cycle=self.cycle,
+                )
+                self._fetch_buffer.append(line)
+                if result.hit_level != "L1":
+                    self._fetch_stall_until = self.cycle + result.latency
+                    self.stats.icache_miss_stalls += 1
+                    return
+            self._seq += 1
+            dyn = DynInstr(seq=self._seq, slot=slot, static=static, pc_addr=pc_addr)
+            dyn.mark("fetch", self.cycle)
+            self.fetch_queue.append(dyn)
+            self.stats.fetched += 1
+            budget -= 1
+            if static.opclass is OpClass.BRANCH:
+                if static.unconditional:
+                    predicted = True
+                else:
+                    predicted = self.predictor.predict(slot)
+                dyn.predicted_taken = predicted
+                if predicted:
+                    self.fetch_pc = self.program.branch_target_slot(slot)
+                    return  # taken-branch fetch break
+                self.fetch_pc = slot + 1
+            elif static.opclass is OpClass.HALT:
+                self._halt_seen = True
+                return
+            else:
+                self.fetch_pc = slot + 1
+
+    def _fetch_is_speculative(self) -> bool:
+        """Is the frontend currently fetching under a branch shadow?"""
+        if self.rob.oldest_unresolved_branch() is not None:
+            return True
+        return any(e.is_unresolved_branch for e in self.fetch_queue)
+
+    # ==================================================================
+    # diagnostics
+    # ==================================================================
+    def pipeline_snapshot(self) -> str:  # pragma: no cover - debugging aid
+        lines = [f"core {self.core_id} @ cycle {self.cycle}"]
+        lines.append(f"  fetch_pc={self.fetch_pc} fq={len(self.fetch_queue)}")
+        lines.append(
+            f"  rob={len(self.rob)} rs={self.rs.occupied_micro_ops}/"
+            f"{self.rs.size} lsu={self.lsu.outstanding()}"
+        )
+        head = self.rob.head()
+        if head is not None:
+            lines.append(f"  head: #{head.seq} {head.name} {head.phase.value}")
+        return "\n".join(lines)

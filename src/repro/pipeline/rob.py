@@ -1,0 +1,123 @@
+"""Reorder buffer: in-order window over in-flight instructions.
+
+Also computes, once per cycle, the *safety prefix flags* every
+speculation scheme's safety model consumes: for each in-flight
+instruction, whether all older branches have resolved, whether all
+older memory operations have resolved their addresses, whether all
+older loads have completed, and whether all older instructions have
+completed (§2.2, §3.3.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, Iterator, List, Optional
+
+from repro.pipeline.dyninstr import DynInstr, Phase
+
+
+@dataclass(frozen=True)
+class SafetyFlags:
+    """Prefix predicates over all *older* ROB entries."""
+
+    older_branches_resolved: bool
+    #: All older *stores* have resolved addresses (aliasing is known) —
+    #: the memory-ordering requirement on a weak (non-TSO) model, where
+    #: load-load reordering is architecturally allowed.
+    older_stores_addr_resolved: bool
+    #: All older loads and stores have resolved addresses.
+    older_mem_addr_resolved: bool
+    older_loads_completed: bool
+    older_all_completed: bool
+    is_oldest: bool
+
+
+class ROB:
+    """Bounded FIFO of dynamic instructions in program order."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("ROB size must be >= 1")
+        self.size = size
+        self._entries: Deque[DynInstr] = deque()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DynInstr]:
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.size
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def head(self) -> Optional[DynInstr]:
+        return self._entries[0] if self._entries else None
+
+    def push(self, instr: DynInstr) -> None:
+        if self.full:
+            raise RuntimeError("ROB overflow")
+        if self._entries and instr.seq <= self._entries[-1].seq:
+            raise RuntimeError("ROB entries must arrive in program order")
+        self._entries.append(instr)
+
+    def pop_head(self) -> DynInstr:
+        return self._entries.popleft()
+
+    def squash_younger_than(self, seq: int) -> List[DynInstr]:
+        """Remove and return every entry with ``entry.seq > seq``."""
+        squashed: List[DynInstr] = []
+        while self._entries and self._entries[-1].seq > seq:
+            victim = self._entries.pop()
+            victim.phase = Phase.SQUASHED
+            squashed.append(victim)
+        squashed.reverse()
+        return squashed
+
+    def oldest_unresolved_branch(self) -> Optional[DynInstr]:
+        for entry in self._entries:
+            if entry.is_unresolved_branch:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    def safety_flags(self) -> Dict[int, SafetyFlags]:
+        """Prefix safety predicates for every current entry, by seq."""
+        flags: Dict[int, SafetyFlags] = {}
+        branches_resolved = True
+        stores_addr_resolved = True
+        mem_addr_resolved = True
+        loads_completed = True
+        all_completed = True
+        first = True
+        for entry in self._entries:
+            flags[entry.seq] = SafetyFlags(
+                older_branches_resolved=branches_resolved,
+                older_stores_addr_resolved=stores_addr_resolved,
+                older_mem_addr_resolved=mem_addr_resolved,
+                older_loads_completed=loads_completed,
+                older_all_completed=all_completed,
+                is_oldest=first,
+            )
+            first = False
+            if entry.is_unresolved_branch:
+                branches_resolved = False
+            if (entry.is_load or entry.is_store) and entry.addr is None:
+                mem_addr_resolved = False
+                if entry.is_store:
+                    stores_addr_resolved = False
+            if entry.is_load and entry.phase is not Phase.COMPLETED:
+                loads_completed = False
+            if entry.phase is not Phase.COMPLETED:
+                all_completed = False
+        return flags
+
+    def older_stores(self, seq: int) -> List[DynInstr]:
+        """Stores older than ``seq``, oldest first (for forwarding)."""
+        return [e for e in self._entries if e.is_store and e.seq < seq]

@@ -1,0 +1,51 @@
+"""Invisible-speculation schemes and defenses (§2.2, §5).
+
+Every scheme the paper attacks, plus the paper's own defenses, behind
+the :class:`~repro.pipeline.scheme_api.SpeculationScheme` interface:
+
+=====================  ==========================================
+scheme                 paper reference
+=====================  ==========================================
+UnsafeBaseline         the unprotected processor
+DelayOnMiss            Sakalis et al., ISCA'19 (TSO and non-TSO)
+InvisiSpec             Yan et al., MICRO'18 (Spectre/Futuristic)
+SafeSpec               Khasawneh et al., DAC'19 (WFB/WFC)
+MuonTrap               Ainsworth & Jones, ISCA'20
+ConditionalSpeculation Li et al., HPCA'19
+CleanupSpec            Saileshwar & Qureshi, MICRO'19 (related work)
+FenceDefense           this paper, §5.2 (basic defense)
+PriorityDefense        this paper, §5.4 (advanced defense sketch)
+=====================  ==========================================
+"""
+
+from repro.pipeline.scheme_api import LoadDecision, SafetyModel, SpeculationScheme
+from repro.schemes.unsafe import UnsafeBaseline
+from repro.schemes.dom import DelayOnMiss
+from repro.schemes.invisispec import InvisiSpec
+from repro.schemes.safespec import SafeSpec
+from repro.schemes.muontrap import MuonTrap
+from repro.schemes.conditional import ConditionalSpeculation
+from repro.schemes.cleanupspec import CleanupSpec
+from repro.schemes.fence import FenceDefense
+from repro.schemes.priority import PriorityDefense
+from repro.schemes.stt import STT
+from repro.schemes.registry import SCHEME_FACTORIES, make_scheme, scheme_names
+
+__all__ = [
+    "LoadDecision",
+    "SafetyModel",
+    "SpeculationScheme",
+    "UnsafeBaseline",
+    "DelayOnMiss",
+    "InvisiSpec",
+    "SafeSpec",
+    "MuonTrap",
+    "ConditionalSpeculation",
+    "CleanupSpec",
+    "FenceDefense",
+    "PriorityDefense",
+    "STT",
+    "SCHEME_FACTORIES",
+    "make_scheme",
+    "scheme_names",
+]

@@ -1,0 +1,55 @@
+"""The paper's basic defense (§5.2): automatic fences after squashable
+instructions.
+
+When an instruction that might cause a mis-speculation enters the ROB,
+the hardware conceptually inserts a fence behind it: younger
+instructions may be dispatched, but may not *issue* until the fenced
+instruction becomes non-speculative.  In the Spectre model the fence
+follows branches only; in the Futuristic model it follows anything that
+can squash (branches and memory operations here).
+
+This achieves *ideal invisible speculation* (§5.1): nothing executes
+under a speculative shadow, so C(E) = C(NoSpec(E)) — at the dramatic
+performance cost Figure 12 quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.pipeline.dyninstr import DynInstr
+from repro.pipeline.rob import SafetyFlags
+from repro.pipeline.scheme_api import LoadDecision, SafetyModel, SpeculationScheme
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.core import Core
+
+
+class FenceDefense(SpeculationScheme):
+    """Fence-after-squashable-instructions, Spectre or Futuristic model."""
+
+    protects_icache = True  # nothing speculative may touch any cache
+
+    def __init__(self, model: str = "spectre") -> None:
+        if model not in ("spectre", "futuristic"):
+            raise ValueError("model must be 'spectre' or 'futuristic'")
+        self.model = model
+        self.safety = (
+            SafetyModel.SPECTRE if model == "spectre" else SafetyModel.FUTURISTIC
+        )
+        self.name = f"fence-{model}"
+        self.issue_blocks = 0
+
+    def may_issue(self, core: "Core", instr: DynInstr, flags: SafetyFlags) -> bool:
+        if self.model == "spectre":
+            allowed = flags.older_branches_resolved
+        else:
+            allowed = flags.older_all_completed
+        if not allowed:
+            self.issue_blocks += 1
+        return allowed
+
+    def load_decision(self, core: "Core", load: DynInstr, safe: bool) -> LoadDecision:
+        # Loads only ever reach the LSU once non-speculative (issue is
+        # gated above), so they are always visible.
+        return LoadDecision.VISIBLE

@@ -1,0 +1,66 @@
+"""Name -> scheme factory registry.
+
+Fresh instances per call: schemes carry per-run state (shadow buffers,
+undo logs, deferred touches) and must not be shared across experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.pipeline.scheme_api import SpeculationScheme
+from repro.schemes.cleanupspec import CleanupSpec
+from repro.schemes.conditional import ConditionalSpeculation
+from repro.schemes.dom import DelayOnMiss
+from repro.schemes.fence import FenceDefense
+from repro.schemes.invisispec import InvisiSpec
+from repro.schemes.muontrap import MuonTrap
+from repro.schemes.priority import PriorityDefense
+from repro.schemes.safespec import SafeSpec
+from repro.schemes.stt import STT
+from repro.schemes.unsafe import UnsafeBaseline
+
+SCHEME_FACTORIES: Dict[str, Callable[[], SpeculationScheme]] = {
+    "unsafe": UnsafeBaseline,
+    "dom-nontso": lambda: DelayOnMiss("nontso"),
+    "dom-tso": lambda: DelayOnMiss("tso"),
+    "dom-nontso-vp": lambda: DelayOnMiss("nontso", value_predict=True),
+    "invisispec-spectre": lambda: InvisiSpec("spectre"),
+    "invisispec-futuristic": lambda: InvisiSpec("futuristic"),
+    "safespec-wfb": lambda: SafeSpec("wfb"),
+    "safespec-wfc": lambda: SafeSpec("wfc"),
+    "muontrap": MuonTrap,
+    "condspec": ConditionalSpeculation,
+    "cleanupspec": CleanupSpec,
+    "fence-spectre": lambda: FenceDefense("spectre"),
+    "fence-futuristic": lambda: FenceDefense("futuristic"),
+    "priority": PriorityDefense,
+    "stt": lambda: STT("spectre"),
+    "stt-futuristic": lambda: STT("futuristic"),
+}
+
+#: The invisible-speculation schemes of Table 1 (attack targets).
+TABLE1_SCHEMES: List[str] = [
+    "invisispec-spectre",
+    "invisispec-futuristic",
+    "dom-nontso",
+    "dom-tso",
+    "safespec-wfb",
+    "safespec-wfc",
+    "muontrap",
+    "condspec",
+]
+
+
+def make_scheme(name: str) -> SpeculationScheme:
+    try:
+        factory = SCHEME_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; known: {', '.join(sorted(SCHEME_FACTORIES))}"
+        ) from None
+    return factory()
+
+
+def scheme_names() -> List[str]:
+    return sorted(SCHEME_FACTORIES)

@@ -1,0 +1,15 @@
+"""The unprotected baseline processor."""
+
+from __future__ import annotations
+
+from repro.pipeline.scheme_api import SpeculationScheme
+
+
+class UnsafeBaseline(SpeculationScheme):
+    """Every load executes visibly as soon as it is ready.
+
+    This is the machine Spectre v1 leaks on: mis-speculated loads fill
+    caches and the fills survive the squash.
+    """
+
+    name = "unsafe"

@@ -1,0 +1,136 @@
+"""The attacker agent: a bare-metal cross-core receiver.
+
+Implements the receiver-side toolbox of §4.1/§4.2.2: clflush, timed
+loads classified against the LLC-miss threshold, cache-set priming, and
+fixed-time reference accesses (the "clock" access of §3.3, scheduled at
+an absolute machine cycle).
+
+Modeling note: the receiver runs attacker-written native code whose own
+microarchitecture is irrelevant to the channel — only its shared-LLC
+interactions matter — so it is an agent issuing hierarchy accesses from
+its own core id rather than a second simulated pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.memory.hierarchy import AccessKind, CacheHierarchy
+from repro.system.machine import Machine
+
+
+@dataclass
+class TimedRead:
+    addr: int
+    latency: int
+    hit: bool  # below the LLC-miss threshold
+
+
+class AttackerAgent:
+    """Receiver running on ``core_id`` of ``machine``."""
+
+    def __init__(self, machine: Machine, core_id: int) -> None:
+        if not 0 <= core_id < machine.num_cores:
+            raise ValueError("attacker core out of range")
+        self.machine = machine
+        self.core_id = core_id
+        self.reads = 0
+        #: Cycles the receiver itself spent on its accesses (prime/probe
+        #: cost, charged to the covert channel's per-bit budget).
+        self.busy_cycles = 0
+        #: Charged per clflush (constant, models the flush round trip).
+        self.flush_cost = 50
+        #: Results of schedule_timed_read probes, in firing order.
+        self.scheduled_observations: List[TimedRead] = []
+
+    @property
+    def hierarchy(self) -> CacheHierarchy:
+        return self.machine.hierarchy
+
+    @property
+    def miss_threshold(self) -> int:
+        return self.hierarchy.miss_threshold()
+
+    # ------------------------------------------------------------------
+    # synchronous primitives (used outside the victim's execution window)
+    # ------------------------------------------------------------------
+    def flush(self, addr: int) -> None:
+        """clflush: remove the line system-wide."""
+        self.busy_cycles += self.flush_cost
+        self.hierarchy.flush(addr)
+
+    def flush_many(self, addrs: Iterable[int]) -> None:
+        for addr in addrs:
+            self.hierarchy.flush(addr)
+
+    def read(self, addr: int, *, kind: AccessKind = AccessKind.DATA) -> int:
+        """Plain access; returns latency."""
+        self.reads += 1
+        latency = self.hierarchy.access(
+            self.core_id, addr, kind, visible=True, cycle=self.machine.cycle
+        ).latency
+        self.busy_cycles += latency
+        return latency
+
+    def timed_read(self, addr: int, *, kind: AccessKind = AccessKind.DATA) -> TimedRead:
+        """Timed access classified hit/miss (Flush+Reload's reload)."""
+        latency = self.read(addr, kind=kind)
+        return TimedRead(addr=addr, latency=latency, hit=latency < self.miss_threshold)
+
+    def evict_own_copy(self, addr: int) -> None:
+        """Drop the line from the attacker's private caches only, so a
+        later timed read reflects LLC state (not self-caching)."""
+        line = self.hierarchy.llc.layout.line_addr(addr)
+        self.hierarchy.l1d[self.core_id].invalidate(line)
+        self.hierarchy.l1i[self.core_id].invalidate(line)
+        self.hierarchy.l2[self.core_id].invalidate(line)
+
+    def prime_lines(self, addrs: Sequence[int], *, rounds: int = 1) -> None:
+        """Access a set of lines repeatedly (prime step)."""
+        for _ in range(rounds):
+            for addr in addrs:
+                self.read(addr)
+
+    # ------------------------------------------------------------------
+    # scheduled primitives (fire while the victim runs)
+    # ------------------------------------------------------------------
+    def schedule_read(self, addr: int, at_cycle: int) -> None:
+        """The §3.3 reference access: an LLC access at a fixed,
+        secret-independent time, issued from the attacker's core."""
+
+        def action() -> None:
+            self.hierarchy.access(
+                self.core_id,
+                addr,
+                AccessKind.DATA,
+                visible=True,
+                cycle=self.machine.cycle,
+            )
+
+        self.machine.schedule(at_cycle, action)
+
+    def schedule_flush(self, addr: int, at_cycle: int) -> None:
+        self.machine.schedule(at_cycle, lambda: self.hierarchy.flush(addr))
+
+    def schedule_timed_read(self, addr: int, at_cycle: int) -> None:
+        """A timed access at a fixed cycle, with the observation recorded
+        in :attr:`scheduled_observations` — the receiver primitive of the
+        coherence-invalidation channel (probe your own cached copy at a
+        fixed time; a miss means the victim's store already invalidated
+        it)."""
+
+        def action() -> None:
+            latency = self.hierarchy.access(
+                self.core_id,
+                addr,
+                AccessKind.DATA,
+                visible=True,
+                cycle=self.machine.cycle,
+            ).latency
+            self.busy_cycles += latency
+            self.scheduled_observations.append(
+                TimedRead(addr=addr, latency=latency, hit=latency < self.miss_threshold)
+            )
+
+        self.machine.schedule(at_cycle, action)

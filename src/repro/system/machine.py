@@ -1,0 +1,149 @@
+"""Multi-core machine: lockstep stepping over a shared hierarchy."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.isa.program import Program
+from repro.memory.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.pipeline.branch import BranchPredictor
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import Core, DeadlockError
+from repro.pipeline.scheme_api import SpeculationScheme
+
+
+class Machine:
+    """N cores sharing one LLC, stepped in lockstep.
+
+    Cores are *attached* lazily; un-attached core slots exist only as
+    private caches (available to :class:`~repro.system.agent.AttackerAgent`
+    receivers and noise injectors).
+    """
+
+    def __init__(
+        self,
+        num_cores: int = 2,
+        *,
+        hierarchy_config: Optional[HierarchyConfig] = None,
+        core_config: Optional[CoreConfig] = None,
+    ) -> None:
+        self.hierarchy = CacheHierarchy(num_cores, hierarchy_config)
+        self.num_cores = num_cores
+        self.default_core_config = core_config or CoreConfig()
+        self.cores: Dict[int, Core] = {}
+        self.cycle = 0
+        self._cycle_hooks: List[Callable[[int], None]] = []
+        self._scheduled: List[Tuple[int, int, Callable[[], None]]] = []
+        self._schedule_counter = 0
+
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        core_id: int,
+        program: Program,
+        scheme: Optional[SpeculationScheme] = None,
+        *,
+        config: Optional[CoreConfig] = None,
+        predictor: Optional[BranchPredictor] = None,
+        registers: Optional[Dict[str, int]] = None,
+        trace: bool = False,
+    ) -> Core:
+        """Create a core running ``program`` under ``scheme``."""
+        if not 0 <= core_id < self.num_cores:
+            raise ValueError(f"core_id {core_id} out of range")
+        if core_id in self.cores:
+            raise ValueError(f"core {core_id} already attached")
+        core = Core(
+            core_id,
+            program,
+            self.hierarchy,
+            scheme,
+            config=config or self.default_core_config,
+            predictor=predictor,
+            registers=registers,
+            trace=trace,
+        )
+        self.cores[core_id] = core
+        return core
+
+    def detach(self, core_id: int) -> None:
+        self.cores.pop(core_id, None)
+
+    # ------------------------------------------------------------------
+    def add_cycle_hook(self, hook: Callable[[int], None]) -> None:
+        """``hook(cycle)`` runs at the start of every machine cycle."""
+        self._cycle_hooks.append(hook)
+
+    def schedule(self, at_cycle: int, action: Callable[[], None]) -> None:
+        """Run ``action`` at the start of ``at_cycle`` (attacker's
+        fixed-time reference accesses, §3.3)."""
+        self._schedule_counter += 1
+        heapq.heappush(self._scheduled, (at_cycle, self._schedule_counter, action))
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        self.cycle += 1
+        while self._scheduled and self._scheduled[0][0] <= self.cycle:
+            _, _, action = heapq.heappop(self._scheduled)
+            action()
+        for hook in self._cycle_hooks:
+            hook(self.cycle)
+        for core in self.cores.values():
+            if not core.halted:
+                core.step(self.cycle)
+
+    def run(
+        self,
+        *,
+        max_cycles: int = 1_000_000,
+        until: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Step until every attached core halts (or ``until`` fires).
+
+        Returns the final cycle count.
+        """
+        start = self.cycle
+        while True:
+            if until is not None and until():
+                return self.cycle
+            if until is None and self.cores and self.all_halted:
+                return self.cycle
+            if self.cycle - start >= max_cycles:
+                raise DeadlockError(
+                    f"machine exceeded {max_cycles} cycles without finishing"
+                )
+            self.step()
+
+    def run_cycles(self, n: int) -> None:
+        for _ in range(n):
+            self.step()
+
+    @property
+    def all_halted(self) -> bool:
+        return all(core.halted for core in self.cores.values())
+
+    # ------------------------------------------------------------------
+    def warm_icache(self, core_id: int, program: Program) -> None:
+        """Pre-fill a core's I-side for every program line, bypassing the
+        visible-access log (stand-in for a prior warm-up run)."""
+        line_size = self.hierarchy.llc.layout.line_size
+        lines = set()
+        for slot in range(len(program)):
+            addr = program.address_of_slot(slot)
+            lines.add(addr & ~(line_size - 1))
+        for line in sorted(lines):
+            self.hierarchy.llc.fill(line, update=False)
+            self.hierarchy.l2[core_id].fill(line, update=False)
+            self.hierarchy.l1i[core_id].fill(line, update=False)
+
+    def warm_data(self, core_id: int, addrs, *, level: str = "L1") -> None:
+        """Pre-install data lines ('priming the cache prior to the
+        attack', §3.2.2), bypassing the visible log."""
+        for addr in addrs:
+            line = self.hierarchy.llc.layout.line_addr(addr)
+            self.hierarchy.llc.fill(line, update=False)
+            if level in ("L1", "L2"):
+                self.hierarchy.l2[core_id].fill(line, update=False)
+            if level == "L1":
+                self.hierarchy.l1d[core_id].fill(line, update=False)

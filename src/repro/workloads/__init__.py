@@ -1,0 +1,22 @@
+"""Workloads: synthetic benchmark suite and random program generation.
+
+The synthetic suite stands in for SPEC CPU2017 in the Figure 12 defense
+evaluation (see DESIGN.md for the substitution rationale); the random
+generator drives differential property tests of the pipeline against
+the architectural interpreter.
+"""
+
+from repro.workloads.generators import RandomProgramConfig, random_program
+from repro.workloads.synthetic import (
+    SyntheticWorkload,
+    synthetic_suite,
+    workload_by_name,
+)
+
+__all__ = [
+    "RandomProgramConfig",
+    "random_program",
+    "SyntheticWorkload",
+    "synthetic_suite",
+    "workload_by_name",
+]

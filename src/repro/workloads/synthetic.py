@@ -1,0 +1,254 @@
+"""Synthetic workload suite — the SPEC CPU2017 stand-in for Figure 12.
+
+Each workload is a small kernel with a distinct bottleneck, spanning the
+axes that determine fence-defense overhead (§5.3): branch density
+(speculation depth), memory-level parallelism (what delayed issue
+destroys), dependent-load chains (already serialized, so cheap to
+defend), and pure ILP.  A ``checksum`` register lets tests verify that
+defenses never change architectural results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+
+@dataclass
+class SyntheticWorkload:
+    """A named kernel plus its initial memory image."""
+
+    name: str
+    description: str
+    program: Program
+    memory_image: Dict[int, int] = field(default_factory=dict)
+    #: Register holding a final data-dependent checksum.
+    checksum_reg: str = "checksum"
+
+
+def _pointer_chase(length: int = 48, base: int = 0x100_000) -> SyntheticWorkload:
+    """memory-latency-bound: a chain of dependent loads (mcf-like)."""
+    image = {}
+    stride = 8 * 64  # every hop a new cache line
+    for i in range(length):
+        image[base + i * stride] = base + (i + 1) * stride
+    b = ProgramBuilder()
+    b.imm("ptr", base)
+    b.imm("checksum", 0)
+    for _ in range(length):
+        b.load("ptr", ["ptr"], lambda p: p, name="chase")
+    b.add("checksum", "checksum", "ptr")
+    return SyntheticWorkload(
+        "pointer_chase", "dependent-load chain (latency bound)", b.build(), image
+    )
+
+
+def _stream(length: int = 96, base: int = 0x200_000) -> SyntheticWorkload:
+    """bandwidth/MLP-bound: independent streaming loads (lbm-like)."""
+    image = {base + i * 64: i * 7 for i in range(length)}
+    b = ProgramBuilder()
+    b.imm("checksum", 0)
+    for i in range(length):
+        b.load_addr(f"v{i % 8}", base + i * 64, name="stream ld")
+        if i % 8 == 7:
+            for j in range(8):
+                b.add("checksum", "checksum", f"v{j}")
+    return SyntheticWorkload(
+        "stream", "independent streaming loads (MLP bound)", b.build(), image
+    )
+
+
+def _branchy(
+    length: int = 96, working_set: int = 12, base: int = 0x300_000
+) -> SyntheticWorkload:
+    """control-bound: data-dependent branches on loaded values (gcc-like).
+
+    Iterates over a small working set (L1-resident after the first
+    touch), so branches resolve quickly but pseudo-randomly: the 2-bit
+    predictor mispredicts regularly, exercising squash paths and
+    fence-defense stalls without being DRAM-latency-bound.
+    """
+    image = {
+        base + i * 64: (i * 2654435761) % 97 for i in range(working_set)
+    }
+    b = ProgramBuilder()
+    b.imm("checksum", 0)
+    for i in range(length):
+        b.load_addr("x", base + (i % working_set) * 64, name="ld cond")
+        label = f"skip{i}"
+        b.branch_if(
+            ["x"],
+            lambda v, i=i: ((v + i) & 1) == 0,
+            label,
+            name="data branch",
+        )
+        b.addi("checksum", "checksum", 3)
+        b.label(label)
+        b.add("checksum", "checksum", "x")
+    return SyntheticWorkload(
+        "branchy", "data-dependent branches (control bound)", b.build(), image
+    )
+
+
+def _ilp(length: int = 160) -> SyntheticWorkload:
+    """ILP-rich independent arithmetic (exchange-like)."""
+    b = ProgramBuilder()
+    for i in range(8):
+        b.imm(f"a{i}", i + 1)
+    for i in range(length):
+        reg = f"a{i % 8}"
+        b.alu(
+            reg,
+            [reg],
+            lambda v, k=i: (v * 5 + k) & 0xFFFF,
+            port=1 if i % 2 else 5,  # both ALU ports: real ILP
+            name="mac",
+        )
+    b.imm("checksum", 0)
+    for i in range(8):
+        b.add("checksum", "checksum", f"a{i}")
+    return SyntheticWorkload("ilp", "independent ALU operations", b.build())
+
+
+def _sqrt_kernel(length: int = 32) -> SyntheticWorkload:
+    """non-pipelined-unit-bound FP kernel (fp-speed-like)."""
+    b = ProgramBuilder()
+    b.imm("x", 12345)
+    b.imm("y", 999)
+    for i in range(length):
+        reg = "x" if i % 2 == 0 else "y"
+        b.alu(
+            reg,
+            [reg],
+            lambda v: int(v**0.5) + 7,
+            latency=15,
+            port=0,
+            name="vsqrtpd",
+        )
+    b.imm("checksum", 0)
+    b.add("checksum", "x", "y")
+    return SyntheticWorkload(
+        "sqrt_kernel", "non-pipelined FP unit bound", b.build()
+    )
+
+
+def _mixed(base: int = 0x400_000) -> SyntheticWorkload:
+    """A bit of everything with exploitable ILP (perlbench-like)."""
+    image = {base + i * 64: (i * 31 + 5) % 61 for i in range(48)}
+    b = ProgramBuilder()
+    b.imm("checksum", 0)
+    for i in range(24):
+        # Independent loads: plenty of MLP for the baseline to exploit.
+        b.load_addr("x", base + ((i * 7) % 48) * 64, name="ld")
+        b.load_addr("y", base + ((i * 11 + 3) % 48) * 64, name="ld2")
+        label = f"m{i}"
+        b.branch_if(["x"], lambda v: v % 3 == 0, label, name="mod3")
+        b.alu("checksum", ["checksum", "x"], lambda c, x: c + x * 2, name="acc")
+        b.label(label)
+        b.add("checksum", "checksum", "y")
+        if i % 4 == 0:
+            b.alu("t", ["x"], lambda v: int(v**0.5) + 1, latency=15, port=0, name="sqrt")
+            b.add("checksum", "checksum", "t")
+        b.store_addr(base + 48 * 64 + (i % 8) * 64, "checksum", name="st")
+    return SyntheticWorkload("mixed", "mixed int/fp/mem/branch", b.build(), image)
+
+
+def _mlp_compute(length: int = 40, base: int = 0x500_000) -> SyntheticWorkload:
+    """memory-parallel compute: independent load->work strands
+    (exchange2/lbm-like).  Each strand loads a fresh line and does a
+    short arithmetic tail; the baseline overlaps many strands, which is
+    exactly what Futuristic-model fencing forbids."""
+    image = {base + i * 64: (i * 13 + 1) % 251 for i in range(length)}
+    b = ProgramBuilder()
+    b.imm("checksum", 0)
+    for i in range(length):
+        reg = f"v{i % 8}"
+        b.load_addr(reg, base + i * 64, name="strand ld")
+        b.alu(reg, [reg], lambda v, i=i: (v * 3 + i) & 0xFFFF, name="strand op")
+        b.add("checksum", "checksum", reg)
+    return SyntheticWorkload(
+        "mlp_compute", "independent load->compute strands", b.build(), image
+    )
+
+
+def _hash_probe(length: int = 48, table: int = 8, base: int = 0x600_000) -> SyntheticWorkload:
+    """hash-table probing: pseudo-random loads + data-dependent compare
+    branches (omnetpp/xalancbmk-like)."""
+    image = {base + i * 64: (i * 73 + 11) % 127 for i in range(table)}
+    b = ProgramBuilder()
+    b.imm("checksum", 0)
+    for i in range(length):
+        slot_index = (i * 2654435761) % table
+        b.load_addr("h", base + slot_index * 64, name="probe ld")
+        # realistic per-probe work (~1 branch per 7 instructions)
+        b.alu("k1", ["h"], lambda v, i=i: (v * 31 + i) & 0xFFFF, name="hash1")
+        b.alu("k2", ["k1"], lambda v: v ^ (v >> 3), name="hash2", port=5)
+        label = f"hp{i}"
+        b.branch_if(["h"], lambda v: v % 5 == 0, label, name="probe hit?")
+        b.alu("checksum", ["checksum", "h"], lambda c, h: c + h, name="acc")
+        b.label(label)
+        b.add("checksum", "checksum", "k2")
+    return SyntheticWorkload(
+        "hash_probe", "random probes + data-dependent branches", b.build(), image
+    )
+
+
+def _scan_early_exit(
+    length: int = 80, working_set: int = 8, base: int = 0x700_000
+) -> SyntheticWorkload:
+    """string scan with a well-predicted not-taken exit branch every
+    element (perlbench-like).  The buffer is L1-resident after the first
+    pass, so branch conditions resolve fast: fence overhead comes only
+    from the issue bubble, not from DRAM-bound branch resolution."""
+    image = {base + i * 64: i + 1 for i in range(working_set)}
+    b = ProgramBuilder()
+    b.imm("checksum", 0)
+    for i in range(length):
+        b.load_addr("c", base + (i % working_set) * 64, name="scan ld")
+        # per-character work: classify, fold, accumulate
+        b.alu("t1", ["c"], lambda v: v | 0x20, name="tolower", port=5)
+        b.alu("t2", ["t1"], lambda v: v * 131 & 0xFFFF, name="fold")
+        b.branch_if(["c"], lambda v: v == 0, "done", name="terminator?")
+        b.alu("checksum", ["checksum", "t2"], lambda a, v: a + v, name="acc")
+    b.label("done")
+    return SyntheticWorkload(
+        "scan_early_exit", "predictable-branch string scan", b.build(), image
+    )
+
+
+def _stride_store(length: int = 64, base: int = 0x800_000) -> SyntheticWorkload:
+    """store-heavy streaming writes (write-allocate pressure)."""
+    b = ProgramBuilder()
+    b.imm("checksum", 0)
+    b.imm("v", 3)
+    for i in range(length):
+        b.alu("v", ["v"], lambda x, i=i: (x * 7 + i) & 0xFFFF, name="gen")
+        b.store_addr(base + i * 64, "v", name="st")
+    b.add("checksum", "checksum", "v")
+    return SyntheticWorkload("stride_store", "streaming stores", b.build())
+
+
+def synthetic_suite() -> List[SyntheticWorkload]:
+    """The full suite, in a stable order."""
+    return [
+        _pointer_chase(),
+        _stream(),
+        _branchy(),
+        _ilp(),
+        _sqrt_kernel(),
+        _mixed(),
+        _mlp_compute(),
+        _hash_probe(),
+        _scan_early_exit(),
+        _stride_store(),
+    ]
+
+
+def workload_by_name(name: str) -> SyntheticWorkload:
+    for workload in synthetic_suite():
+        if workload.name == name:
+            return workload
+    raise KeyError(f"unknown workload {name!r}")

@@ -1,0 +1,66 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.hierarchy import HierarchyConfig, LevelConfig
+
+
+def small_hierarchy_config(**overrides) -> HierarchyConfig:
+    """A fast hierarchy for unit tests (attack-relevant shape intact:
+    16-way QLRU LLC, finite MSHRs)."""
+    defaults = dict(
+        l1i=LevelConfig(16, 4, latency=3),
+        l1d=LevelConfig(16, 4, latency=3),
+        l2=LevelConfig(32, 4, latency=12),
+        llc=LevelConfig(64, 16, latency=40, policy="qlru"),
+        dram_latency=200,
+        dram_jitter=0,
+        l1d_mshrs=4,
+    )
+    defaults.update(overrides)
+    return HierarchyConfig(**defaults)
+
+
+@pytest.fixture
+def hierarchy_config():
+    return small_hierarchy_config()
+
+
+def run_on_scheme(
+    program,
+    scheme,
+    *,
+    registers=None,
+    memory=None,
+    hierarchy=None,
+    predictor=None,
+    num_cores=2,
+    warm_icache=True,
+    trace=True,
+    max_cycles=200_000,
+):
+    """Run a program on core 0 of a small machine under a scheme.
+
+    Returns (machine, core).
+    """
+    from repro.system.machine import Machine
+
+    machine = Machine(
+        num_cores=num_cores, hierarchy_config=hierarchy or small_hierarchy_config()
+    )
+    for addr, value in (memory or {}).items():
+        machine.hierarchy.memory.write(addr, value)
+    if warm_icache:
+        machine.warm_icache(0, program)
+    core = machine.attach(
+        0,
+        program,
+        scheme,
+        predictor=predictor,
+        registers=registers,
+        trace=trace,
+    )
+    machine.run(until=lambda: core.halted, max_cycles=max_cycles)
+    return machine, core

@@ -1,0 +1,97 @@
+"""Table 1 reproduction tests: the vulnerability matrix must match the
+paper's published pattern cell for cell."""
+
+import pytest
+
+from repro.core.matrix import evaluate_cell, format_matrix, run_matrix
+
+# The paper's Table 1, translated to our scheme names.  The VD-VD/VI
+# column is tested via VD-VD; the VI orderings via VI-AD.
+EXPECTED_VULNERABLE = {
+    ("gdnpeu", "vd-vd"): {"invisispec-spectre", "dom-nontso", "safespec-wfb"},
+    ("gdnpeu", "vd-ad"): {
+        "invisispec-spectre",
+        "invisispec-futuristic",
+        "dom-nontso",
+        "dom-tso",
+        "safespec-wfb",
+        "safespec-wfc",
+        "muontrap",
+        "condspec",
+    },
+    ("gdnpeu", "vi-ad"): {
+        "invisispec-spectre",
+        "invisispec-futuristic",
+        "dom-nontso",
+        "dom-tso",
+        "safespec-wfb",
+        "safespec-wfc",
+        "muontrap",
+        "condspec",
+    },
+    ("gdmshr", "vd-vd"): {"invisispec-spectre", "safespec-wfb"},
+    ("gdmshr", "vd-ad"): {
+        "invisispec-spectre",
+        "invisispec-futuristic",
+        "safespec-wfb",
+        "safespec-wfc",
+        "muontrap",
+    },
+    ("gdmshr", "vi-ad"): {
+        "invisispec-spectre",
+        "invisispec-futuristic",
+        "safespec-wfb",
+        "safespec-wfc",
+        "muontrap",
+    },
+    ("girs", "vd-vd"): set(),
+    ("girs", "vd-ad"): set(),
+    ("girs", "vi-ad"): {"invisispec-spectre", "invisispec-futuristic",
+                        "dom-nontso", "dom-tso"},
+}
+
+ATTACK_SCHEMES = sorted(
+    {s for schemes in EXPECTED_VULNERABLE.values() for s in schemes}
+)
+
+
+def cell_ids():
+    for (gadget, ordering), expected in sorted(EXPECTED_VULNERABLE.items()):
+        for scheme in ATTACK_SCHEMES:
+            yield gadget, ordering, scheme, scheme in expected
+
+
+@pytest.mark.parametrize(
+    "gadget,ordering,scheme,expected",
+    list(cell_ids()),
+    ids=lambda v: str(v),
+)
+def test_matrix_cell_matches_table1(gadget, ordering, scheme, expected):
+    cell = evaluate_cell(gadget, ordering, scheme)
+    assert cell.vulnerable == expected, cell.detail
+
+
+@pytest.mark.parametrize("scheme", ["fence-spectre", "fence-futuristic"])
+@pytest.mark.parametrize("gadget", ["gdnpeu", "gdmshr", "girs"])
+@pytest.mark.parametrize("ordering", ["vd-vd", "vd-ad", "vi-ad"])
+def test_fence_defense_invulnerable_everywhere(scheme, gadget, ordering):
+    cell = evaluate_cell(gadget, ordering, scheme)
+    assert not cell.vulnerable, cell.detail
+
+
+def test_priority_defense_blocks_gdnpeu_orderings():
+    """The §5.4 advanced defense removes the EU-contention channel."""
+    for ordering in ("vd-vd", "vd-ad"):
+        cell = evaluate_cell("gdnpeu", ordering, "priority")
+        assert not cell.vulnerable, cell.detail
+
+
+def test_format_matrix_renders():
+    cells = [
+        evaluate_cell("gdnpeu", "vd-vd", "dom-nontso"),
+        evaluate_cell("gdnpeu", "vd-vd", "dom-tso"),
+    ]
+    text = format_matrix(cells)
+    assert "gdnpeu" in text
+    assert "dom-nontso" in text
+    assert "dom-tso" not in text.split("|")[1]  # invulnerable not listed

@@ -1,0 +1,118 @@
+"""Receiver tests: QLRU replacement-state receiver and Flush+Reload."""
+
+import pytest
+
+from repro.core.receivers import FlushReloadReceiver, QLRUReceiver
+from repro.core.victims import ADDR_A, ADDR_B, ATTACK_HIERARCHY
+from repro.memory.hierarchy import AccessKind
+from repro.system.agent import AttackerAgent
+from repro.system.machine import Machine
+
+VICTIM, ATTACKER = 0, 2
+
+
+@pytest.fixture
+def machine():
+    return Machine(3, hierarchy_config=ATTACK_HIERARCHY)
+
+
+def victim_access(machine, addr):
+    """A victim-core LLC access (as the unprotected loads A/B make)."""
+    machine.hierarchy.access(
+        VICTIM, addr, AccessKind.DATA, visible=True, cycle=machine.cycle
+    )
+
+
+class TestQLRUReceiver:
+    def test_requires_congruent_lines(self, machine):
+        agent = AttackerAgent(machine, ATTACKER)
+        with pytest.raises(ValueError):
+            QLRUReceiver(agent, ADDR_A, ADDR_A + 64)
+
+    def test_eviction_sets_disjoint_and_congruent(self, machine):
+        agent = AttackerAgent(machine, ATTACKER)
+        receiver = QLRUReceiver(agent, ADDR_A, ADDR_B)
+        layout = machine.hierarchy.llc.layout
+        assert len(receiver.evs1) == machine.hierarchy.llc.num_ways - 1
+        assert len(receiver.evs2) == machine.hierarchy.llc.num_ways - 1
+        assert not set(receiver.evs1) & set(receiver.evs2)
+        for line in receiver.evs1 + receiver.evs2:
+            assert layout.same_set(line, ADDR_A)
+            assert line not in (ADDR_A, ADDR_B)
+
+    def test_decodes_ab_order_as_zero(self, machine):
+        agent = AttackerAgent(machine, ATTACKER)
+        receiver = QLRUReceiver(agent, ADDR_A, ADDR_B)
+        receiver.prime()
+        victim_access(machine, ADDR_A)
+        victim_access(machine, ADDR_B)
+        assert receiver.probe_and_decode() == 0
+
+    def test_decodes_ba_order_as_one(self, machine):
+        agent = AttackerAgent(machine, ATTACKER)
+        receiver = QLRUReceiver(agent, ADDR_A, ADDR_B)
+        receiver.prime()
+        victim_access(machine, ADDR_B)
+        victim_access(machine, ADDR_A)
+        assert receiver.probe_and_decode() == 1
+
+    def test_decode_repeatable_across_fresh_machines(self):
+        for order, expected in ((("a", "b"), 0), (("b", "a"), 1)):
+            machine = Machine(3, hierarchy_config=ATTACK_HIERARCHY)
+            agent = AttackerAgent(machine, ATTACKER)
+            receiver = QLRUReceiver(agent, ADDR_A, ADDR_B)
+            receiver.prime()
+            for which in order:
+                victim_access(machine, ADDR_A if which == "a" else ADDR_B)
+            assert receiver.probe_and_decode() == expected
+
+    def test_prime_state_matches_figure8a(self, machine):
+        """After priming: EVS1 lines saturated at age 0, A at insert age."""
+        agent = AttackerAgent(machine, ATTACKER)
+        receiver = QLRUReceiver(agent, ADDR_A, ADDR_B)
+        receiver.prime()
+        contents = receiver.set_snapshot()
+        ages = receiver.set_ages()
+        a_line = machine.hierarchy.llc.layout.line_addr(ADDR_A)
+        assert a_line in contents
+        assert ages[contents.index(a_line)] == 1
+        for way, line in enumerate(contents):
+            if line in set(receiver.evs1):
+                assert ages[way] == 0
+
+
+class TestFlushReload:
+    def test_detects_victim_touch(self, machine):
+        agent = AttackerAgent(machine, ATTACKER)
+        receiver = FlushReloadReceiver(agent, [0x77_000])
+        receiver.flush_phase()
+        victim_access(machine, 0x77_000)
+        obs = receiver.reload_phase()[0]
+        assert obs.hit
+
+    def test_detects_absence(self, machine):
+        agent = AttackerAgent(machine, ATTACKER)
+        receiver = FlushReloadReceiver(agent, [0x77_000])
+        receiver.flush_phase()
+        obs = receiver.reload_phase()[0]
+        assert not obs.hit
+
+    def test_instruction_line_fetch_visible_cross_core(self, machine):
+        """Victim I-fetches land in the shared LLC and are observable —
+        the I-cache PoC's channel."""
+        agent = AttackerAgent(machine, ATTACKER)
+        line = 0x40_0000  # a code line
+        receiver = FlushReloadReceiver(agent, [line])
+        receiver.flush_phase()
+        machine.hierarchy.access(
+            VICTIM, line, AccessKind.INST, visible=True, cycle=0
+        )
+        assert receiver.reload_phase()[0].hit
+
+    def test_hit_lines_helper(self, machine):
+        agent = AttackerAgent(machine, ATTACKER)
+        lines = [0x70_000, 0x71_000, 0x72_000]
+        receiver = FlushReloadReceiver(agent, lines)
+        receiver.flush_phase()
+        victim_access(machine, lines[1])
+        assert receiver.hit_lines() == [lines[1]]

@@ -1,0 +1,45 @@
+"""Spectre v1 baseline: leaks on unsafe, blocked by every invisible
+speculation scheme (the paper's §1 premise)."""
+
+import pytest
+
+from repro.core.spectre import build_spectre_v1, spectre_leak_trial
+from repro.schemes.registry import TABLE1_SCHEMES
+
+
+class TestSpectreVictim:
+    def test_victim_structure(self):
+        victim = build_spectre_v1()
+        assert victim.program.at(victim.branch_slot).name == "bounds check"
+        assert victim.probe_line(3) == victim.probe_base + 3 * 64
+
+
+class TestSpectreLeak:
+    @pytest.mark.parametrize("secret", [1, 7, 13])
+    def test_unsafe_leaks_secret(self, secret):
+        result = spectre_leak_trial("unsafe", secret)
+        assert result.leaked
+        assert result.hits == [secret]
+
+    @pytest.mark.parametrize("scheme", TABLE1_SCHEMES)
+    def test_invisible_schemes_block_spectre(self, scheme):
+        result = spectre_leak_trial(scheme, secret=7)
+        assert not result.leaked
+        assert result.hits == []
+
+    @pytest.mark.parametrize("scheme", ["fence-spectre", "fence-futuristic"])
+    def test_fence_defenses_block_spectre(self, scheme):
+        result = spectre_leak_trial(scheme, secret=7)
+        assert not result.leaked
+        assert result.hits == []
+
+    def test_cleanupspec_blocks_spectre(self):
+        result = spectre_leak_trial("cleanupspec", secret=5)
+        assert not result.leaked
+
+    def test_in_bounds_access_is_architectural(self):
+        """An in-bounds index is correct-path execution: the probe fill
+        happens architecturally and persists under any scheme."""
+        for scheme in ("unsafe", "dom-nontso"):
+            result = spectre_leak_trial(scheme, secret=2, out_of_bounds_index=1)
+            assert result.hits == [2]

@@ -1,0 +1,129 @@
+"""Structural tests for victim builders and the trial harness."""
+
+import pytest
+
+from repro.core.harness import run_victim_trial
+from repro.core.victims import (
+    ADDR_A,
+    ADDR_B,
+    ADDR_REF,
+    ATTACK_HIERARCHY,
+    gdmshr_victim,
+    gdnpeu_victim,
+    girs_victim,
+)
+from repro.memory.address import AddressLayout
+
+
+def llc_layout():
+    cfg = ATTACK_HIERARCHY.llc
+    return AddressLayout(
+        line_size=cfg.line_size, num_sets=cfg.num_sets, num_slices=cfg.num_slices
+    )
+
+
+class TestVictimSpecs:
+    @pytest.mark.parametrize(
+        "builder,kwargs",
+        [
+            (gdnpeu_victim, {"variant": "vd-vd"}),
+            (gdnpeu_victim, {"variant": "vi-ad"}),
+            (gdmshr_victim, {"variant": "vd-vd"}),
+            (gdmshr_victim, {"variant": "vi-ad"}),
+            (girs_victim, {}),
+        ],
+    )
+    def test_spec_wellformed(self, builder, kwargs):
+        spec = builder(**kwargs)
+        assert spec.program.at(spec.branch_slot).name == "victim branch"
+        assert spec.monitored_lines()
+        # prime/flush targets are disjoint at line granularity
+        prime = {a & ~63 for a in spec.prime_l1}
+        flush = {a & ~63 for a in spec.flush_lines}
+        assert not prime & flush
+
+    def test_gdnpeu_lines_congruent(self):
+        spec = gdnpeu_victim()
+        assert llc_layout().same_set(spec.line_a, spec.line_b)
+        assert spec.line_a != spec.line_b
+
+    def test_monitored_lines_avoid_code_sets(self):
+        """Monitored data lines must not share LLC sets with I-lines,
+        or code fetches would corrupt the replacement-state channel."""
+        layout = llc_layout()
+        for spec in (gdnpeu_victim(), gdmshr_victim(), girs_victim()):
+            code_sets = {
+                layout.global_set(spec.program.address_of_slot(s))
+                for s in range(len(spec.program))
+            }
+            for line in (spec.line_a, spec.line_b):
+                if line is not None and spec.gadget != "gdmshr":
+                    assert layout.global_set(line) not in code_sets
+            assert layout.global_set(ADDR_REF) not in code_sets
+
+    def test_vi_variants_have_cold_target(self):
+        for spec in (
+            gdnpeu_victim(variant="vi-ad"),
+            gdmshr_victim(variant="vi-ad"),
+            girs_victim(),
+        ):
+            assert spec.target_iline is not None
+            assert spec.target_iline in spec.cold_ilines
+
+    def test_girs_target_line_separate_from_join(self):
+        spec = girs_victim()
+        end_line = spec.program.address_of_label("end") & ~63
+        assert end_line != spec.target_iline
+
+    def test_invalid_variants_rejected(self):
+        with pytest.raises(ValueError):
+            gdnpeu_victim(variant="vd-xx")
+        with pytest.raises(ValueError):
+            gdmshr_victim(variant="zz")
+
+
+class TestHarness:
+    def test_trial_is_deterministic(self):
+        spec = gdnpeu_victim()
+        a = run_victim_trial(spec, "dom-nontso", 1)
+        b = run_victim_trial(spec, "dom-nontso", 1)
+        assert a.access_cycle == b.access_cycle
+        assert a.cycles == b.cycles
+
+    def test_secret_validated(self):
+        with pytest.raises(ValueError):
+            run_victim_trial(gdnpeu_victim(), "unsafe", 2)
+
+    def test_reference_access_recorded(self):
+        spec = gdnpeu_victim()
+        r = run_victim_trial(
+            spec, "dom-nontso", 0, reference_accesses=[(ADDR_REF, 120)]
+        )
+        assert r.first_access(ADDR_REF) == 120
+
+    def test_order_helper(self):
+        spec = gdnpeu_victim()
+        r = run_victim_trial(spec, "dom-nontso", 0)
+        assert r.order(ADDR_A, ADDR_B) == "xy"
+        assert r.order(ADDR_A, 0xDEAD000) is None
+
+    def test_mispredict_happened(self):
+        """The harness's mistraining must actually cause the squash the
+        attack rides on."""
+        spec = gdnpeu_victim()
+        r = run_victim_trial(spec, "dom-nontso", 1)
+        assert r.core.stats.mispredicts >= 1
+        assert r.core.stats.squashes >= 1
+
+    def test_noise_changes_log(self):
+        spec = gdnpeu_victim()
+        quiet = run_victim_trial(spec, "dom-nontso", 0)
+        noisy = run_victim_trial(
+            spec,
+            "dom-nontso",
+            0,
+            noise_rate=0.05,
+            noise_pool=[0x700000, 0x700040],
+            seed=3,
+        )
+        assert len(noisy.visible) > len(quiet.visible)

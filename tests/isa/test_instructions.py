@@ -1,0 +1,72 @@
+"""Unit tests for static instruction constructors."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.instructions import Instruction, OpClass
+
+
+class TestConstructors:
+    def test_alu_basics(self):
+        inst = ins.alu("r1", ["r2", "r3"], lambda a, b: a + b, latency=5, port=0)
+        assert inst.opclass is OpClass.ALU
+        assert inst.dst == "r1"
+        assert inst.srcs == ("r2", "r3")
+        assert inst.latency == 5
+        assert inst.port == 0
+        assert inst.compute(2, 3) == 5
+
+    def test_imm_produces_constant(self):
+        inst = ins.imm("r1", 42)
+        assert inst.srcs == ()
+        assert inst.compute() == 42
+
+    def test_load_address_function(self):
+        inst = ins.load("r1", ["r2"], lambda base: base + 8)
+        assert inst.opclass is OpClass.LOAD
+        assert inst.compute(0x100) == 0x108
+        assert inst.is_memory
+
+    def test_store_requires_value_src(self):
+        with pytest.raises(ValueError):
+            Instruction(opclass=OpClass.STORE, srcs=("r1",), compute=lambda a: a)
+
+    def test_store_ok(self):
+        inst = ins.store(["r1"], lambda a: a, "r2")
+        assert inst.value_src == "r2"
+        assert inst.is_memory
+
+    def test_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(opclass=OpClass.BRANCH, srcs=("r1",), compute=bool)
+
+    def test_branch_ok(self):
+        inst = ins.branch(["r1"], lambda v: v < 10, "out")
+        assert inst.target == "out"
+        assert inst.compute(3)
+        assert not inst.compute(11)
+
+    def test_latency_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ins.alu("r1", [], lambda: 0, latency=0)
+
+    def test_srcs_coerced_to_tuple(self):
+        inst = ins.alu("r1", ["a", "b"], lambda a, b: a)
+        assert isinstance(inst.srcs, tuple)
+
+    def test_describe_mentions_name_and_regs(self):
+        inst = ins.alu("r1", ["r2"], lambda a: a, name="sqrt")
+        text = inst.describe()
+        assert "sqrt" in text
+        assert "r1" in text
+        assert "r2" in text
+
+    def test_writes_register(self):
+        assert ins.imm("r1", 0).writes_register
+        assert not ins.nop().writes_register
+        assert not ins.halt().writes_register
+
+    def test_fence_nop_halt_classes(self):
+        assert ins.fence().opclass is OpClass.FENCE
+        assert ins.nop().opclass is OpClass.NOP
+        assert ins.halt().opclass is OpClass.HALT

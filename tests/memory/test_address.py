@@ -1,0 +1,73 @@
+"""Tests for address layout arithmetic."""
+
+import pytest
+
+from repro.memory import AddressLayout
+
+
+class TestAddressLayout:
+    def test_line_addr_masks_offset(self):
+        layout = AddressLayout(line_size=64, num_sets=64)
+        assert layout.line_addr(0x12345) == 0x12340
+        assert layout.line_addr(0x12340) == 0x12340
+
+    def test_set_index_uses_middle_bits(self):
+        layout = AddressLayout(line_size=64, num_sets=64)
+        assert layout.set_index(0x0) == 0
+        assert layout.set_index(64) == 1
+        assert layout.set_index(64 * 64) == 0  # wraps into tag
+
+    def test_tag_strips_set_and_offset(self):
+        layout = AddressLayout(line_size=64, num_sets=64)
+        assert layout.tag(64 * 64) == 1
+
+    def test_single_slice_is_zero(self):
+        layout = AddressLayout(num_slices=1)
+        assert layout.slice_id(0xABCDEF) == 0
+
+    def test_slice_hash_deterministic_and_bounded(self):
+        layout = AddressLayout(num_slices=8)
+        for addr in range(0, 1 << 20, 4096):
+            s = layout.slice_id(addr)
+            assert 0 <= s < 8
+            assert s == layout.slice_id(addr)
+
+    def test_slice_hash_spreads(self):
+        layout = AddressLayout(num_slices=4, num_sets=64)
+        seen = {layout.slice_id(i * 64 * 64) for i in range(64)}
+        assert len(seen) == 4
+
+    def test_same_set_requires_slice_and_index(self):
+        layout = AddressLayout(num_slices=4, num_sets=64)
+        a = 0x10000
+        b = layout.congruent_address(a, 1)
+        assert layout.same_set(a, b)
+        assert not layout.same_set(a, a + 64)
+
+    def test_congruent_addresses_distinct(self):
+        layout = AddressLayout(num_slices=4, num_sets=64)
+        base = 0x4000
+        lines = [layout.congruent_address(base, n) for n in range(8)]
+        assert len(set(lines)) == 8
+        for line in lines:
+            assert layout.same_set(base, line)
+
+    def test_congruent_zero_returns_base_line(self):
+        layout = AddressLayout()
+        assert layout.congruent_address(0x1234, 0) == layout.line_addr(0x1234)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            AddressLayout(line_size=48)
+        with pytest.raises(ValueError):
+            AddressLayout(num_sets=100)
+        with pytest.raises(ValueError):
+            AddressLayout(num_slices=3)
+
+    def test_global_set_disjoint_across_slices(self):
+        layout = AddressLayout(num_slices=4, num_sets=16)
+        a, b = 0x1000, 0x2000
+        if layout.slice_id(a) != layout.slice_id(b):
+            assert layout.global_set(a) != layout.global_set(b) or (
+                layout.set_index(a) != layout.set_index(b)
+            )

@@ -1,0 +1,68 @@
+"""Tests for the DRAM model."""
+
+import pytest
+
+from repro.memory.main_memory import MainMemory
+
+
+class TestMainMemory:
+    def test_default_zero(self):
+        m = MainMemory()
+        assert m.read(0x1234) == 0
+
+    def test_write_read(self):
+        m = MainMemory()
+        m.write(0x100, 42)
+        assert m.read(0x100) == 42
+        assert m.reads == 1
+        assert m.writes == 1
+
+    def test_peek_does_not_count(self):
+        m = MainMemory()
+        m.write(0x100, 1)
+        before = m.reads
+        assert m.peek(0x100) == 1
+        assert m.reads == before
+
+    def test_write_block(self):
+        m = MainMemory()
+        m.write_block(0x200, [1, 2, 3], stride=8)
+        assert m.peek(0x200) == 1
+        assert m.peek(0x208) == 2
+        assert m.peek(0x210) == 3
+
+    def test_latency_without_jitter_constant(self):
+        m = MainMemory(latency=100)
+        assert {m.access_latency() for _ in range(10)} == {100}
+
+    def test_jitter_bounded_and_seeded(self):
+        a = MainMemory(latency=100, jitter=20, seed=3)
+        b = MainMemory(latency=100, jitter=20, seed=3)
+        seq_a = [a.access_latency() for _ in range(50)]
+        seq_b = [b.access_latency() for _ in range(50)]
+        assert seq_a == seq_b
+        assert all(100 <= v <= 120 for v in seq_a)
+        assert len(set(seq_a)) > 1
+
+    def test_reseed_replays(self):
+        m = MainMemory(latency=100, jitter=20, seed=3)
+        first = [m.access_latency() for _ in range(10)]
+        m.reseed(3)
+        assert [m.access_latency() for _ in range(10)] == first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MainMemory(latency=0)
+        with pytest.raises(ValueError):
+            MainMemory(jitter=-1)
+
+    def test_initial_contents(self):
+        m = MainMemory(contents={0x10: 9})
+        assert m.read(0x10) == 9
+
+    def test_snapshot_is_copy(self):
+        m = MainMemory()
+        m.write(0x10, 1)
+        snap = m.snapshot()
+        snap[0x10] = 99
+        assert m.peek(0x10) == 1

@@ -1,0 +1,101 @@
+"""Tests for the MSHR file (the GDMSHR gadget's finite resource)."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile, MSHRFullError
+
+
+class TestAllocation:
+    def test_allocate_distinct_lines(self):
+        m = MSHRFile(2)
+        m.allocate(0x000, consumer=1)
+        m.allocate(0x040, consumer=2)
+        assert m.full
+        assert len(m) == 2
+
+    def test_coalescing_same_line(self):
+        """All misses to one line share one MSHR — the secret=0 case of
+        the GDMSHR gadget, which leaves MSHRs free for the victim."""
+        m = MSHRFile(2)
+        for consumer in range(10):
+            m.allocate(0x40, consumer=consumer)
+        assert len(m) == 1
+        assert m.coalesced == 9
+
+    def test_full_rejects(self):
+        m = MSHRFile(1)
+        m.allocate(0, consumer=1)
+        assert not m.can_allocate(64)
+        with pytest.raises(MSHRFullError):
+            m.allocate(64, consumer=2)
+        assert m.rejections == 1
+
+    def test_full_still_coalesces(self):
+        m = MSHRFile(1)
+        m.allocate(0, consumer=1)
+        assert m.can_allocate(0)
+        m.allocate(0, consumer=2)
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+
+class TestRelease:
+    def test_release_returns_consumers(self):
+        m = MSHRFile(4)
+        m.allocate(0, consumer=5, cycle=10)
+        m.allocate(0, consumer=6)
+        entry = m.release(0)
+        assert entry.consumers == {5, 6}
+        assert entry.allocated_at == 10
+        assert len(m) == 0
+
+    def test_release_unknown_line(self):
+        m = MSHRFile(4)
+        assert m.release(0x40) is None
+
+    def test_release_frees_capacity(self):
+        m = MSHRFile(1)
+        m.allocate(0, consumer=1)
+        m.release(0)
+        m.allocate(64, consumer=2)  # no exception
+
+
+class TestSquash:
+    def test_drop_consumer_frees_empty_entries(self):
+        """Squash frees MSHRs whose only consumers were mis-speculated —
+        the event that unblocks the victim load in GDMSHR."""
+        m = MSHRFile(4)
+        m.allocate(0, consumer=1)
+        m.allocate(64, consumer=1)
+        m.allocate(64, consumer=2)
+        freed = m.drop_consumer(1)
+        assert freed == [0]
+        assert m.has_entry(64)
+
+    def test_drop_unknown_consumer(self):
+        m = MSHRFile(2)
+        m.allocate(0, consumer=1)
+        assert m.drop_consumer(99) == []
+
+
+class TestStats:
+    def test_peak_occupancy(self):
+        m = MSHRFile(4)
+        m.allocate(0, consumer=1)
+        m.allocate(64, consumer=2)
+        m.release(0)
+        assert m.peak_occupancy == 2
+
+    def test_outstanding_lines(self):
+        m = MSHRFile(4)
+        m.allocate(0, consumer=1)
+        m.allocate(128, consumer=2)
+        assert set(m.outstanding_lines()) == {0, 128}
+
+    def test_reset(self):
+        m = MSHRFile(2)
+        m.allocate(0, consumer=1)
+        m.reset()
+        assert len(m) == 0

@@ -1,0 +1,135 @@
+"""Delay-on-Miss value-prediction mode (Sakalis et al.'s full design).
+
+Speculative misses return a last-value prediction instead of stalling;
+validation happens at the safety point with a real access; mispredicted
+values squash and replay consumers.
+"""
+
+import pytest
+
+from repro.core.harness import run_victim_trial
+from repro.core.spectre import spectre_leak_trial
+from repro.core.victims import gdnpeu_arith_victim, gdnpeu_victim
+from repro.isa import Interpreter, ProgramBuilder
+from repro.schemes import DelayOnMiss, make_scheme
+from repro.workloads import random_program
+
+from tests.conftest import run_on_scheme
+
+MISS_ADDR = 0x40_0C0
+COND_ADDR = 0x48_080
+
+
+class TestValuePredictionMechanics:
+    def test_prediction_made_for_speculative_miss(self):
+        scheme = DelayOnMiss("nontso", value_predict=True)
+        b = ProgramBuilder()
+        b.load_addr("n", COND_ADDR, name="slow cond")
+        b.branch_if(["n"], lambda v: v > 10, "skip", name="branch")
+        b.load_addr("x", MISS_ADDR, name="vp load")
+        b.label("skip")
+        b.halt()
+        machine, core = run_on_scheme(b.build(), scheme, memory={MISS_ADDR: 7})
+        assert scheme.value_predictions >= 1
+        assert core.regfile["x"] == 7  # validated/replayed to truth
+
+    def test_misprediction_counted_and_replayed(self):
+        """Prediction starts at 0; memory holds 7: the first use must
+        mispredict, replay, and still produce correct downstream values."""
+        scheme = DelayOnMiss("nontso", value_predict=True)
+        b = ProgramBuilder()
+        b.load_addr("n", COND_ADDR, name="slow cond")
+        b.branch_if(["n"], lambda v: v > 10, "skip", name="branch")
+        b.load_addr("x", MISS_ADDR, name="vp load")
+        b.addi("y", "x", 1, name="consumer")
+        b.label("skip")
+        b.halt()
+        machine, core = run_on_scheme(b.build(), scheme, memory={MISS_ADDR: 7})
+        assert scheme.value_mispredictions >= 1
+        assert core.regfile["y"] == 8
+
+    def test_correct_prediction_avoids_replay(self):
+        """Second execution of the same static load predicts correctly
+        (last-value) and needs no replay."""
+        scheme = DelayOnMiss("nontso", value_predict=True)
+        b = ProgramBuilder()
+        b.imm("i", 0)
+        b.label("head")
+        b.load_addr("n", COND_ADDR, name="slow cond")
+        b.branch_if(["n"], lambda v: v > 10, "skip", name="branch")
+        b.load_addr("x", MISS_ADDR, name="vp load")
+        b.label("skip")
+        b.addi("i", "i", 1)
+        b.branch_if(["i"], lambda v: v < 3, "head")
+        b.halt()
+        machine, core = run_on_scheme(b.build(), scheme, memory={MISS_ADDR: 7})
+        assert core.regfile["x"] == 7
+        assert scheme.value_mispredictions <= 1  # only the cold first use
+
+    def test_no_memory_request_for_prediction(self):
+        """PREDICT must not allocate MSHRs or touch the hierarchy before
+        validation (there is nothing to make invisible)."""
+        scheme = DelayOnMiss("nontso", value_predict=True)
+        b = ProgramBuilder()
+        b.load_addr("n", COND_ADDR, name="slow cond")
+        b.branch_if(["n"], lambda v: v > 10, "body", name="branch")
+        b.jump("end")
+        b.label("body")
+        b.load_addr("x", MISS_ADDR, name="vp load")  # squashed later
+        b.label("end")
+        b.halt()
+        from repro.pipeline.branch import StaticTakenPredictor
+
+        machine, core = run_on_scheme(
+            b.build(), scheme, predictor=StaticTakenPredictor(True)
+        )
+        # squashed before validation: the line was never requested
+        assert machine.hierarchy.hit_level(0, MISS_ADDR) == "DRAM"
+        assert all(e.line != MISS_ADDR for e in machine.hierarchy.visible_log)
+
+    def test_registry_name(self):
+        assert make_scheme("dom-nontso-vp").name == "dom-nontso-vp"
+
+
+class TestValuePredictionCorrectness:
+    @pytest.mark.parametrize("seed", [3, 17, 42, 256, 1001])
+    def test_architectural_equivalence(self, seed):
+        program = random_program(seed)
+        expected = Interpreter(program, max_instructions=100_000).run()
+        machine, core = run_on_scheme(
+            program, make_scheme("dom-nontso-vp"), max_cycles=400_000
+        )
+        for reg, value in expected.registers.items():
+            assert core.regfile.get(reg, 0) == value
+        for addr, value in expected.memory.items():
+            assert machine.hierarchy.memory.peek(addr) == value
+
+
+class TestValuePredictionSecurity:
+    def test_blocks_spectre(self):
+        assert spectre_leak_trial("dom-nontso-vp", 7).hits == []
+
+    def test_neutralizes_load_transmitter(self):
+        """A predicted miss returns as fast as a hit: the hit/miss
+        timing differential that drives GDNPEU's load transmitter
+        disappears (interference happens for both secrets)."""
+        spec = gdnpeu_victim()
+        orders = [
+            run_victim_trial(spec, "dom-nontso-vp", s).order(
+                spec.line_a, spec.line_b
+            )
+            for s in (0, 1)
+        ]
+        assert orders[0] == orders[1]
+
+    def test_arith_transmitter_still_leaks(self):
+        """...but the transmitter class matters: data-dependent
+        arithmetic is untouched by value prediction."""
+        spec = gdnpeu_arith_victim()
+        orders = [
+            run_victim_trial(spec, "dom-nontso-vp", s).order(
+                spec.line_a, spec.line_b
+            )
+            for s in (0, 1)
+        ]
+        assert orders[0] != orders[1]

@@ -1,0 +1,214 @@
+"""Behaviour tests for InvisiSpec, SafeSpec, MuonTrap, CondSpec,
+CleanupSpec: the cache-visibility contracts each proposal makes."""
+
+import pytest
+
+from repro.isa import ProgramBuilder
+from repro.pipeline.branch import StaticTakenPredictor
+from repro.pipeline.scheme_api import SafetyModel
+from repro.schemes import (
+    CleanupSpec,
+    ConditionalSpeculation,
+    InvisiSpec,
+    MuonTrap,
+    SafeSpec,
+)
+
+from tests.conftest import run_on_scheme
+
+SPEC_ADDR = 0x40_0C0
+COND_ADDR = 0x48_080
+PLAIN_ADDR = 0x4C_100
+
+
+def squashed_load_program(addr):
+    """A load that executes speculatively and is then squashed."""
+    b = ProgramBuilder()
+    b.load_addr("n", COND_ADDR, name="slow cond")
+    b.branch_if(["n"], lambda v: v > 10, "body", name="branch")
+    b.jump("end")
+    b.label("body")
+    b.load_addr("x", addr, name="spec load")
+    b.label("end")
+    b.halt()
+    return b.build()
+
+
+def correct_path_load_program(addr):
+    """A speculative load that survives (correct path) and becomes safe."""
+    b = ProgramBuilder()
+    b.load_addr("n", COND_ADDR, name="slow cond")
+    b.branch_if(["n"], lambda v: v > 10, "skip", name="branch")
+    b.load_addr("x", addr, name="surviving load")
+    b.label("skip")
+    b.halt()
+    return b.build()
+
+
+class TestInvisiSpec:
+    def test_squashed_load_leaves_no_cache_state(self):
+        scheme = InvisiSpec("spectre")
+        machine, core = run_on_scheme(
+            squashed_load_program(SPEC_ADDR),
+            scheme,
+            predictor=StaticTakenPredictor(True),
+        )
+        assert scheme.invisible_loads >= 1
+        assert machine.hierarchy.hit_level(0, SPEC_ADDR) == "DRAM"
+        assert all(e.line != SPEC_ADDR for e in machine.hierarchy.visible_log)
+
+    def test_surviving_load_exposed_when_safe(self):
+        scheme = InvisiSpec("spectre")
+        machine, core = run_on_scheme(
+            correct_path_load_program(SPEC_ADDR), scheme, memory={SPEC_ADDR: 9}
+        )
+        assert core.regfile["x"] == 9
+        assert scheme.exposures >= 1
+        assert machine.hierarchy.l1_hit(0, SPEC_ADDR)
+
+    def test_speculative_miss_allocates_mshr(self):
+        """The property GDMSHR exploits: invisible misses hold MSHRs."""
+        scheme = InvisiSpec("spectre")
+        machine, core = run_on_scheme(
+            squashed_load_program(SPEC_ADDR),
+            scheme,
+            predictor=StaticTakenPredictor(True),
+        )
+        assert machine.hierarchy.l1d_mshrs[0].allocations >= 1
+
+    def test_modes(self):
+        assert InvisiSpec("spectre").safety is SafetyModel.SPECTRE
+        assert InvisiSpec("futuristic").safety is SafetyModel.FUTURISTIC
+        with pytest.raises(ValueError):
+            InvisiSpec("both")
+
+    def test_futuristic_serializes_exposures(self):
+        scheme = InvisiSpec("futuristic")
+        b = ProgramBuilder()
+        b.load_addr("a", SPEC_ADDR, name="ld a")
+        b.load_addr("b", SPEC_ADDR + 0x1000, name="ld b")
+        machine, core = run_on_scheme(b.build(), scheme)
+        log = [e for e in machine.hierarchy.visible_log]
+        la = next(e.cycle for e in log if e.line == SPEC_ADDR)
+        lb = next(e.cycle for e in log if e.line == SPEC_ADDR + 0x1000)
+        assert la < lb  # visible accesses in program order
+
+
+class TestSafeSpec:
+    def test_shadow_reuse(self):
+        """Two speculative loads to one line: the second hits the shadow."""
+        scheme = SafeSpec("wfb")
+        b = ProgramBuilder()
+        b.load_addr("n", COND_ADDR, name="slow cond")
+        b.branch_if(["n"], lambda v: v > 10, "body", name="branch")
+        b.jump("end")
+        b.label("body")
+        b.load_addr("x1", SPEC_ADDR, name="spec1")
+        b.load_addr("x2", SPEC_ADDR + 8, name="spec2")
+        b.label("end")
+        b.halt()
+        machine, core = run_on_scheme(
+            b.build(), scheme, predictor=StaticTakenPredictor(True)
+        )
+        assert scheme.shadow_hits >= 1
+
+    def test_squash_clears_shadow(self):
+        scheme = SafeSpec("wfb")
+        machine, core = run_on_scheme(
+            squashed_load_program(SPEC_ADDR),
+            scheme,
+            predictor=StaticTakenPredictor(True),
+        )
+        line = machine.hierarchy.llc.layout.line_addr(SPEC_ADDR)
+        assert not scheme.shadow_contains(0, line)
+
+    def test_protects_icache(self):
+        assert SafeSpec("wfb").protects_icache
+
+    def test_surviving_load_exposed(self):
+        scheme = SafeSpec("wfb")
+        machine, core = run_on_scheme(
+            correct_path_load_program(SPEC_ADDR), scheme, memory={SPEC_ADDR: 4}
+        )
+        assert core.regfile["x"] == 4
+        assert scheme.exposures >= 1
+        assert machine.hierarchy.l1_hit(0, SPEC_ADDR)
+
+
+class TestMuonTrap:
+    def test_filter_fill_and_flush_on_squash(self):
+        scheme = MuonTrap()
+        machine, core = run_on_scheme(
+            squashed_load_program(SPEC_ADDR),
+            scheme,
+            predictor=StaticTakenPredictor(True),
+        )
+        assert scheme.filter_fills >= 1
+        assert not scheme.filter_for(0).contains(SPEC_ADDR)
+        assert machine.hierarchy.hit_level(0, SPEC_ADDR) == "DRAM"
+
+    def test_filter_hit_on_reuse(self):
+        scheme = MuonTrap()
+        b = ProgramBuilder()
+        b.load_addr("n", COND_ADDR, name="slow cond")
+        b.branch_if(["n"], lambda v: v > 10, "body", name="branch")
+        b.jump("end")
+        b.label("body")
+        b.load_addr("x1", SPEC_ADDR, name="spec1")
+        b.load_addr("x2", SPEC_ADDR + 8, name="spec2")
+        b.label("end")
+        b.halt()
+        machine, core = run_on_scheme(
+            b.build(), scheme, predictor=StaticTakenPredictor(True)
+        )
+        assert scheme.filter_hits >= 1
+
+    def test_promotion_when_safe(self):
+        scheme = MuonTrap()
+        machine, core = run_on_scheme(
+            correct_path_load_program(SPEC_ADDR), scheme, memory={SPEC_ADDR: 3}
+        )
+        assert core.regfile["x"] == 3
+        assert scheme.promotions >= 1
+        assert machine.hierarchy.l1_hit(0, SPEC_ADDR)
+
+
+class TestConditionalSpeculation:
+    def test_speculative_miss_delayed(self):
+        scheme = ConditionalSpeculation()
+        machine, core = run_on_scheme(
+            squashed_load_program(SPEC_ADDR),
+            scheme,
+            predictor=StaticTakenPredictor(True),
+        )
+        assert scheme.delayed_misses >= 1
+        assert machine.hierarchy.hit_level(0, SPEC_ADDR) == "DRAM"
+
+    def test_correct_result_on_surviving_path(self):
+        scheme = ConditionalSpeculation()
+        machine, core = run_on_scheme(
+            correct_path_load_program(SPEC_ADDR), scheme, memory={SPEC_ADDR: 8}
+        )
+        assert core.regfile["x"] == 8
+
+
+class TestCleanupSpec:
+    def test_squashed_fill_rolled_back(self):
+        """The undo log removes the mis-speculated fill after a squash."""
+        scheme = CleanupSpec()
+        machine, core = run_on_scheme(
+            squashed_load_program(SPEC_ADDR),
+            scheme,
+            predictor=StaticTakenPredictor(True),
+        )
+        assert scheme.rollbacks >= 1
+        assert machine.hierarchy.hit_level(0, SPEC_ADDR) == "DRAM"
+
+    def test_surviving_fill_kept(self):
+        scheme = CleanupSpec()
+        machine, core = run_on_scheme(
+            correct_path_load_program(SPEC_ADDR), scheme, memory={SPEC_ADDR: 2}
+        )
+        assert core.regfile["x"] == 2
+        assert machine.hierarchy.l1_hit(0, SPEC_ADDR)
+        assert scheme.rollbacks == 0

@@ -1,0 +1,70 @@
+"""Registry tests + the big cross-scheme correctness property:
+
+No speculation scheme — attack target or defense — may ever change
+architectural results.  Every scheme runs the random-program corpus and
+the synthetic suite and must match the golden interpreter exactly.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Interpreter
+from repro.schemes import make_scheme, scheme_names
+from repro.schemes.registry import SCHEME_FACTORIES, TABLE1_SCHEMES
+from repro.workloads import random_program
+
+from tests.conftest import run_on_scheme
+
+ALL_SCHEMES = sorted(SCHEME_FACTORIES)
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in scheme_names():
+            scheme = make_scheme(name)
+            assert scheme.name  # every scheme is self-describing
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            make_scheme("magic")
+
+    def test_fresh_instances(self):
+        assert make_scheme("dom-nontso") is not make_scheme("dom-nontso")
+
+    def test_table1_schemes_subset(self):
+        for name in TABLE1_SCHEMES:
+            assert name in SCHEME_FACTORIES
+
+
+@pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+def test_schemes_preserve_architectural_state(scheme_name):
+    """Fixed-corpus differential test: 6 random programs per scheme."""
+    for seed in (3, 17, 42, 99, 123, 500):
+        program = random_program(seed)
+        expected = Interpreter(program, max_instructions=100_000).run()
+        machine, core = run_on_scheme(
+            program, make_scheme(scheme_name), max_cycles=400_000
+        )
+        for reg, value in expected.registers.items():
+            assert core.regfile.get(reg, 0) == value, (
+                f"{scheme_name} seed {seed} reg {reg}"
+            )
+        for addr, value in expected.memory.items():
+            assert machine.hierarchy.memory.peek(addr) == value, (
+                f"{scheme_name} seed {seed} mem {addr:#x}"
+            )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=3000),
+    scheme_name=st.sampled_from(ALL_SCHEMES),
+)
+def test_schemes_preserve_architectural_state_hypothesis(seed, scheme_name):
+    program = random_program(seed)
+    expected = Interpreter(program, max_instructions=100_000).run()
+    machine, core = run_on_scheme(
+        program, make_scheme(scheme_name), max_cycles=400_000
+    )
+    for reg, value in expected.registers.items():
+        assert core.regfile.get(reg, 0) == value

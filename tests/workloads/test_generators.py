@@ -1,0 +1,44 @@
+"""Random program generator tests."""
+
+import pytest
+
+from repro.isa import Interpreter
+from repro.isa.instructions import OpClass
+from repro.workloads import RandomProgramConfig, random_program
+
+
+class TestRandomProgram:
+    def test_deterministic_for_seed(self):
+        a = random_program(7)
+        b = random_program(7)
+        assert len(a) == len(b)
+        assert [i.opclass for i in a] == [i.opclass for i in b]
+
+    def test_different_seeds_differ(self):
+        a = random_program(1)
+        b = random_program(2)
+        assert [i.name for i in a] != [i.name for i in b]
+
+    @pytest.mark.parametrize("seed", range(0, 50, 7))
+    def test_always_terminates(self, seed):
+        result = Interpreter(random_program(seed), max_instructions=50_000).run()
+        assert result.halted
+
+    def test_mix_knobs(self):
+        cfg = RandomProgramConfig(length=60, branch_probability=0.0)
+        program = random_program(5, cfg)
+        assert not any(i.opclass is OpClass.BRANCH for i in program)
+
+    def test_contains_slow_port0_ops_sometimes(self):
+        cfg = RandomProgramConfig(length=200, slow_alu_probability=0.5)
+        program = random_program(9, cfg)
+        assert any(
+            i.opclass is OpClass.ALU and i.port == 0 and i.latency > 1
+            for i in program
+        )
+
+    def test_branches_are_forward_only(self):
+        program = random_program(11)
+        for slot, inst in enumerate(program):
+            if inst.opclass is OpClass.BRANCH:
+                assert program.branch_target_slot(slot) > slot
