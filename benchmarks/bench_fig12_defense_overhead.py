@@ -15,6 +15,7 @@ import pytest
 
 from repro.analysis.reporting import format_table
 from repro.core.experiments import fig12_defense_overhead
+from repro.runner import make_runner
 
 from _common import emit_report
 
@@ -22,7 +23,10 @@ SCHEMES = ("fence-spectre", "fence-futuristic")
 
 
 def run_fig12():
-    return fig12_defense_overhead(schemes=SCHEMES)
+    # The (workload, scheme) grid fans out across processes when the host
+    # has the cores for it; rows come back in the same order either way.
+    with make_runner() as runner:
+        return fig12_defense_overhead(schemes=SCHEMES, runner=runner)
 
 
 @pytest.mark.benchmark(group="fig12")

@@ -1,19 +1,34 @@
 """Simulator micro-throughput (not a paper figure).
 
 pytest-benchmark timing of the substrate itself — cache accesses,
-pipeline cycles, full victim trials — so performance regressions in the
-simulator are visible.
+pipeline cycles, full victim trials, whole sweeps — so performance
+regressions in the simulator are visible.  The speedup case also
+records the idle-cycle fast-forward's measured gains in
+``results/throughput_speedup.txt``.
 """
+
+import time
 
 import pytest
 
-from repro.core.harness import run_victim_trial
-from repro.core.victims import gdnpeu_victim
+from repro.core.harness import prepare_machine, run_victim_trial
+from repro.core.victims import gdnpeu_victim, victim_by_name
 from repro.isa import ProgramBuilder
 from repro.memory.cache import Cache
 from repro.memory.hierarchy import CacheHierarchy
 from repro.pipeline import Core
+from repro.runner import expand_grid, make_runner
 from repro.workloads.synthetic import workload_by_name
+
+from _common import emit_report
+
+SWEEP_VICTIMS = ["gdnpeu", "gdmshr", "girs"]
+SWEEP_SCHEMES = [
+    "dom-nontso",
+    "invisispec-spectre",
+    "muontrap",
+    "fence-spectre",
+]
 
 
 @pytest.mark.benchmark(group="throughput")
@@ -50,6 +65,81 @@ def test_bench_full_victim_trial(benchmark):
         return run_victim_trial(spec, "dom-nontso", 1).cycles
 
     benchmark(body)
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_bench_sweep_runner(benchmark):
+    """A whole victim x scheme x secret sweep through the runner API."""
+    specs = expand_grid(SWEEP_VICTIMS, SWEEP_SCHEMES)
+
+    def body():
+        with make_runner() as runner:
+            return runner.run(specs)
+
+    result = benchmark.pedantic(body, rounds=1, iterations=1)
+    assert len(result) == len(specs)
+    assert all(s.retired > 0 for s in result)
+
+
+def _trial_seconds(victim: str, scheme: str, secret: int, fast_forward: bool):
+    spec = victim_by_name(victim)
+    machine, core, _ = prepare_machine(spec, scheme, secret)
+    start = time.perf_counter()
+    machine.run(
+        until=lambda: core.halted,
+        max_cycles=20_000,
+        fast_forward=fast_forward,
+    )
+    return time.perf_counter() - start, core.stats.cycles
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_bench_fast_forward_speedup(benchmark):
+    """Record the fast-forward speedup at trial and sweep granularity.
+
+    The idle-cycle fast-forward must be cycle-exact (asserted here via
+    identical cycle counts) and is expected to be >=1.3x on a single
+    memory-bound trial and >=2x across a mixed sweep.
+    """
+    grid = [
+        (victim, scheme, secret)
+        for victim in SWEEP_VICTIMS
+        for scheme in SWEEP_SCHEMES
+        for secret in (0, 1)
+    ]
+
+    def measure():
+        # Single-trial speedup on the paper's main gadget under DoM.
+        slow_t, slow_cycles = _trial_seconds("gdnpeu", "dom-nontso", 1, False)
+        fast_t, fast_cycles = _trial_seconds("gdnpeu", "dom-nontso", 1, True)
+        assert fast_cycles == slow_cycles
+        single = slow_t / fast_t
+
+        # Sweep-level speedup across the full grid.
+        sweep_slow = sweep_fast = 0.0
+        for victim, scheme, secret in grid:
+            t, c_slow = _trial_seconds(victim, scheme, secret, False)
+            sweep_slow += t
+            t, c_fast = _trial_seconds(victim, scheme, secret, True)
+            sweep_fast += t
+            assert c_fast == c_slow, (victim, scheme, secret)
+        return single, sweep_slow / sweep_fast
+
+    single, sweep = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit_report(
+        "throughput_speedup",
+        "\n".join(
+            [
+                "Idle-cycle fast-forward speedup (cycle-exact, asserted):",
+                f"  single trial (gdnpeu / dom-nontso): {single:.2f}x",
+                f"  sweep ({len(grid)} trials, "
+                f"{len(SWEEP_VICTIMS)} victims x {len(SWEEP_SCHEMES)} schemes): "
+                f"{sweep:.2f}x",
+            ]
+        ),
+    )
+    assert single >= 1.3
+    assert sweep >= 2.0
 
 
 @pytest.mark.benchmark(group="throughput")

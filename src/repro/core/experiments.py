@@ -9,7 +9,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runner import SweepRunner
 
 from repro.analysis.histogram import Histogram
 from repro.core.harness import prepare_machine
@@ -48,7 +51,9 @@ def fig7_contention_histogram(
                 spec, scheme, secret, hierarchy_config=hier, trace=True
             )
             machine.hierarchy.memory.reseed(1000 + trial)
-            machine.run(until=lambda: core.halted, max_cycles=30_000)
+            machine.run(
+                until=lambda: core.halted, max_cycles=30_000, fast_forward=True
+            )
             t_start = _event_of(core, "f0", "issue")
             t_end = _event_of(core, "load A", "complete")
             if t_start is None or t_end is None:
@@ -105,8 +110,21 @@ def run_workload(
     # behaviour is the workload's own.
     machine.warm_icache(0, workload.program)
     core = machine.attach(0, workload.program, scheme_obj)
-    machine.run(until=lambda: core.halted, max_cycles=max_cycles)
+    machine.run(
+        until=lambda: core.halted, max_cycles=max_cycles, fast_forward=True
+    )
     return core
+
+
+def _workload_cycles_task(task) -> Tuple[int, Optional[int]]:
+    """Worker for the parallel fig12 path: ``(workload_name, scheme,
+    hierarchy_config)`` -> (cycles, checksum).  Resolves the workload by
+    name from the synthetic suite — SyntheticWorkload programs hold
+    lambdas and cannot cross the process boundary themselves."""
+    name, scheme, hierarchy_config = task
+    workload = next(w for w in synthetic_suite() if w.name == name)
+    core = run_workload(workload, scheme, hierarchy_config=hierarchy_config)
+    return core.stats.cycles, core.regfile.get(workload.checksum_reg)
 
 
 def fig12_defense_overhead(
@@ -115,12 +133,40 @@ def fig12_defense_overhead(
     baseline: str = "unsafe",
     workloads: Optional[Sequence[SyntheticWorkload]] = None,
     hierarchy_config: Optional[HierarchyConfig] = None,
+    runner: Optional["SweepRunner"] = None,
 ) -> OverheadReport:
     """Execution-time overhead of the basic fence defense (§5.3).
 
     Paper shape: Spectre-model geomean ~1.58x, Futuristic ~5.38x over
     the unsafe baseline; the synthetic suite substitutes for SPEC2017.
+
+    ``runner`` fans the (workload, scheme) grid over worker processes —
+    only for the default suite (custom workload objects are not
+    picklable and run serially regardless).
     """
+    if runner is not None and workloads is None:
+        names = [w.name for w in synthetic_suite()]
+        all_schemes = [baseline, *schemes]
+        tasks = [(n, s, hierarchy_config) for n in names for s in all_schemes]
+        results = iter(runner.map(_workload_cycles_task, tasks))
+        rows = []
+        for name in names:
+            base_cycles, base_checksum = next(results)
+            cycles = {}
+            for scheme in schemes:
+                scheme_cycles, checksum = next(results)
+                if checksum != base_checksum:
+                    raise AssertionError(
+                        f"{name}: defense changed architectural result "
+                        f"({base_checksum} != {checksum})"
+                    )
+                cycles[scheme] = scheme_cycles
+            rows.append(
+                OverheadRow(
+                    workload=name, baseline_cycles=base_cycles, cycles=cycles
+                )
+            )
+        return OverheadReport(rows=rows, schemes=list(schemes))
     rows = []
     for workload in workloads or synthetic_suite():
         base = run_workload(

@@ -46,8 +46,13 @@ class TrialResult:
     access_cycle: Dict[int, Optional[int]]
     #: the victim-window slice of the visible LLC log.
     visible: List[VisibleAccess]
-    machine: Machine = field(repr=False, default=None)
-    core: Core = field(repr=False, default=None)
+    #: Live simulation handles for in-process inspection.  Optional: the
+    #: parallel sweep runner ships results across process boundaries as
+    #: :class:`repro.runner.TrialSummary`, which carries everything above
+    #: but excludes these (a Machine holds lambdas and megabytes of
+    #: cache state — neither picklable nor worth shipping).
+    machine: Optional[Machine] = field(repr=False, default=None)
+    core: Optional[Core] = field(repr=False, default=None)
 
     def first_access(self, line: int) -> Optional[int]:
         return self.access_cycle.get(line)
@@ -148,7 +153,7 @@ def run_victim_trial(
         core_config=core_config,
         trace=trace,
     )
-    agent = AttackerAgent(machine, ATTACKER_CORE)
+    agent = AttackerAgent(machine, ATTACKER_CORE, seed=seed)
     for addr, cycle in reference_accesses:
         agent.schedule_read(addr, cycle)
     if noise_rate > 0.0:
@@ -159,7 +164,12 @@ def run_victim_trial(
     machine.hierarchy.memory.reseed(seed + 1)
 
     log_start = len(machine.hierarchy.visible_log)
-    machine.run(until=lambda: core.halted, max_cycles=max_cycles)
+    # The halt predicate only changes inside step(), so idle-cycle
+    # fast-forwarding is exact here (and disables itself automatically
+    # while a noise injector's cycle hook is attached).
+    machine.run(
+        until=lambda: core.halted, max_cycles=max_cycles, fast_forward=True
+    )
     window = machine.hierarchy.log_since(log_start)
 
     monitored = list(spec.monitored_lines()) + [

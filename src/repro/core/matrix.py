@@ -17,9 +17,12 @@ paper treats as equivalent to a covert channel (§3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.harness import TrialResult, run_victim_trial
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runner import SweepRunner
 from repro.core.victims import (
     ADDR_REF,
     VictimSpec,
@@ -140,17 +143,32 @@ def evaluate_cell(gadget: str, ordering: str, scheme: str) -> MatrixCell:
     return MatrixCell(gadget, ordering, scheme, vulnerable, t0, t1, detail)
 
 
+def _evaluate_cell_task(task: Tuple[str, str, str]) -> MatrixCell:
+    """Unary adapter for runner.map / executor.map (module-level so it
+    pickles by reference into pool workers)."""
+    return evaluate_cell(*task)
+
+
 def run_matrix(
     schemes: Optional[Sequence[str]] = None,
     gadgets: Sequence[str] = GADGETS,
     orderings: Sequence[str] = ORDERINGS,
+    *,
+    runner: Optional["SweepRunner"] = None,
 ) -> List[MatrixCell]:
-    cells = []
-    for gadget in gadgets:
-        for ordering in orderings:
-            for scheme in schemes or DEFAULT_SCHEMES:
-                cells.append(evaluate_cell(gadget, ordering, scheme))
-    return cells
+    """Evaluate the full matrix.  Cells are independent, so a
+    :class:`repro.runner.SweepRunner` fans them out across processes;
+    results come back in the same deterministic (gadget, ordering,
+    scheme) order either way."""
+    tasks = [
+        (gadget, ordering, scheme)
+        for gadget in gadgets
+        for ordering in orderings
+        for scheme in (schemes or DEFAULT_SCHEMES)
+    ]
+    if runner is None:
+        return [evaluate_cell(*task) for task in tasks]
+    return runner.map(_evaluate_cell_task, tasks)
 
 
 def format_matrix(cells: Sequence[MatrixCell]) -> str:

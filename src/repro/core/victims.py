@@ -711,3 +711,33 @@ def girs_victim(
         core_config=GIRS_CORE_CONFIG,
         notes="implicit gadget; RS back-pressure throttles fetch (Fig. 5)",
     )
+
+
+# ----------------------------------------------------------------------
+# victim registry
+# ----------------------------------------------------------------------
+#: Factory registry so sweep specs can reference victims *by name*: a
+#: :class:`VictimSpec` holds a :class:`~repro.isa.program.Program` full
+#: of lambdas and is therefore unpicklable — parallel sweep workers
+#: rebuild it from ``(name, kwargs)`` on their side of the process
+#: boundary instead.
+VICTIM_FACTORIES = {
+    "gdnpeu": gdnpeu_victim,
+    "gdmshr": gdmshr_victim,
+    "girs": girs_victim,
+    "gdnpeu-arith": gdnpeu_arith_victim,
+    "gdnpeu-architectural": gdnpeu_architectural_victim,
+    "gdnpeu-store": gdnpeu_store_victim,
+    "gdnpeu-occupancy": gdnpeu_occupancy_victim,
+}
+
+
+def victim_by_name(name: str, **kwargs) -> VictimSpec:
+    """Build a victim from its registry name (picklable reference)."""
+    try:
+        factory = VICTIM_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown victim '{name}'; known: {', '.join(sorted(VICTIM_FACTORIES))}"
+        ) from None
+    return factory(**kwargs)

@@ -31,25 +31,38 @@ class AddressLayout:
             raise ValueError("num_sets must be a power of two")
         if not _is_pow2(self.num_slices):
             raise ValueError("num_slices must be a power of two")
+        # Precomputed masks/shifts: these feed every cache access, so
+        # avoid re-deriving bit widths per call (frozen dataclass, hence
+        # object.__setattr__).
+        object.__setattr__(self, "_offset_bits", self.line_size.bit_length() - 1)
+        object.__setattr__(self, "_set_bits", self.num_sets.bit_length() - 1)
+        object.__setattr__(self, "_line_mask", ~(self.line_size - 1))
+        object.__setattr__(self, "_set_mask", self.num_sets - 1)
+        object.__setattr__(
+            self, "_tag_shift", self._offset_bits + self._set_bits
+        )
+        #: line-id -> flat set index memo (the decomposition of an
+        #: address never changes, and workloads reuse a small line set).
+        object.__setattr__(self, "_global_set_cache", {})
 
     @property
     def offset_bits(self) -> int:
-        return self.line_size.bit_length() - 1
+        return self._offset_bits
 
     @property
     def set_bits(self) -> int:
-        return self.num_sets.bit_length() - 1
+        return self._set_bits
 
     def line_addr(self, addr: int) -> int:
         """Address of the cache line containing ``addr``."""
-        return addr & ~(self.line_size - 1)
+        return addr & self._line_mask
 
     def set_index(self, addr: int) -> int:
         """Set index within a slice."""
-        return (addr >> self.offset_bits) & (self.num_sets - 1)
+        return (addr >> self._offset_bits) & self._set_mask
 
     def tag(self, addr: int) -> int:
-        return addr >> (self.offset_bits + self.set_bits)
+        return addr >> self._tag_shift
 
     def slice_id(self, addr: int) -> int:
         """XOR-folded slice hash over the tag bits."""
@@ -65,7 +78,14 @@ class AddressLayout:
 
     def global_set(self, addr: int) -> int:
         """Flat set index across all slices (slice-major)."""
-        return self.slice_id(addr) * self.num_sets + self.set_index(addr)
+        line_id = addr >> self._offset_bits
+        cached = self._global_set_cache.get(line_id)
+        if cached is None:
+            cached = self._global_set_cache.setdefault(
+                line_id,
+                self.slice_id(addr) * self.num_sets + (line_id & self._set_mask),
+            )
+        return cached
 
     def same_set(self, a: int, b: int) -> bool:
         """True when two addresses map to the same slice and set."""

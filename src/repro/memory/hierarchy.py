@@ -40,7 +40,7 @@ class AccessKind(enum.Enum):
     INST = "inst"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VisibleAccess:
     """One attacker-observable shared-cache access (a C(E) element)."""
 
@@ -108,7 +108,7 @@ class HierarchyConfig:
     seed: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one hierarchy access."""
 

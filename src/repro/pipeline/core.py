@@ -149,7 +149,9 @@ class Core:
                 f"ROB head: {self.rob.head()!r}"
             )
 
-    def run(self, *, max_cycles: Optional[int] = None) -> CoreStats:
+    def run(
+        self, *, max_cycles: Optional[int] = None, fast_forward: bool = True
+    ) -> CoreStats:
         """Run standalone until HALT retires (single-core convenience)."""
         limit = max_cycles or self.config.max_cycles
         while not self.halted:
@@ -157,12 +159,190 @@ class Core:
                 raise DeadlockError(
                     f"core {self.core_id} exceeded {limit} cycles"
                 )
+            if fast_forward:
+                wake = self.next_event_cycle()
+                if wake is not None:
+                    target = min(wake - 1, limit)
+                    if target > self.cycle:
+                        self.fast_forward(target)
+                        continue
             self.step(self.cycle + 1)
         return self.stats
 
     @property
     def done(self) -> bool:
         return self.halted
+
+    # ==================================================================
+    # idle-cycle fast-forward
+    # ==================================================================
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest future cycle at which stepping can change state, or
+        ``None`` when the next cycle must be simulated normally.
+
+        The core is *quiescent* when every stage provably does nothing
+        but bookkeeping next cycle: no CDB broadcast, no retirement, no
+        safety transition, no EU/LSU completion, every parked load stays
+        parked, nothing can issue, dispatch and fetch are stalled.  The
+        returned cycle is the earliest wake-up event (an EU or memory
+        completion, a redirect, the end of a fetch stall, or the
+        deadlock-detector horizon), so :meth:`fast_forward` may skip to
+        ``wake - 1`` while reproducing the per-cycle counters exactly.
+        """
+        if self.halted:
+            return None
+        nxt = self.cycle + 1
+        # Results waiting on the CDB broadcast next cycle.
+        if len(self.cdb):
+            return None
+        # Retirement would make progress.
+        head = self.rob.head()
+        if head is not None and head.phase is Phase.COMPLETED:
+            return None
+        # A load would transition to safe (on_load_safe side effects).
+        model = self.scheme.safety
+        flags_map = self.rob.safety_flags()
+        for entry in self.rob:
+            if entry.phase is Phase.SQUASHED:
+                continue
+            if not entry.is_load or entry.became_safe:
+                continue
+            flags = flags_map.get(entry.seq)
+            if flags is not None and is_safe(model, flags):
+                return None
+        # The implicit-halt condition would fire.
+        if (
+            self.rob.empty
+            and not self.fetch_queue
+            and self._pending_redirect is None
+            and self.fetch_pc >= len(self.program)
+            and self.lsu.outstanding() == 0
+        ):
+            return None
+        # Never skip past the deadlock detector's horizon: stepping at
+        # that cycle must still raise exactly as it would unskipped.
+        wake = self._last_progress_cycle + self.deadlock_window + 1
+        for eu in self.eus:
+            finish = eu.earliest_finish()
+            if finish is not None:
+                if finish <= nxt:
+                    return None
+                wake = min(wake, finish)
+        finish = self.lsu.earliest_completion()
+        if finish is not None:
+            if finish <= nxt:
+                return None
+            wake = min(wake, finish)
+        # Every parked load must provably stay parked (in its state).
+        for load in self.lsu.parked_loads():
+            if not self.lsu.parked_load_keeps_waiting(self, load):
+                return None
+        # Nothing in the RS may be able to issue.
+        for instr in self.rs.waiting_sorted():
+            if not self._issue_blocked_next_cycle(instr, flags_map):
+                return None
+        # Dispatch must be blocked (or have nothing to do).
+        if self.fetch_queue:
+            instr = self.fetch_queue[0]
+            if not self.rob.full:
+                oc = instr.opclass
+                needs_rs = oc in (
+                    OpClass.ALU,
+                    OpClass.BRANCH,
+                    OpClass.LOAD,
+                    OpClass.STORE,
+                )
+                if not needs_rs:
+                    return None
+                if self.rs.can_accept(instr) and not (
+                    oc is OpClass.LOAD and not self.lsu.can_accept()
+                ):
+                    return None
+        # Fetch must be blocked (redirect pending, stalled, queue full,
+        # or program exhausted).
+        if self._pending_redirect is not None:
+            _, at_cycle = self._pending_redirect
+            if at_cycle <= nxt:
+                return None
+            wake = min(wake, at_cycle)
+        elif not self._halt_seen:
+            if nxt < self._fetch_stall_until:
+                wake = min(wake, self._fetch_stall_until)
+            elif (
+                len(self.fetch_queue) < self.config.fetch_queue_size
+                and self.fetch_pc < len(self.program)
+            ):
+                return None
+        if wake <= nxt:
+            return None
+        return wake
+
+    def _issue_blocked_next_cycle(
+        self, instr: DynInstr, flags_map: Dict[int, SafetyFlags]
+    ) -> bool:
+        """Side-effect-free: True when ``instr`` provably cannot issue
+        next cycle.  Mirrors the checks in :meth:`_issue` in order."""
+        eu = self.eus[instr.static.port]
+        if not eu.config.pipelined and eu.busy:
+            if self.scheme.preempt_eus:
+                occupant = eu.current_occupant()
+                if occupant is not None and occupant.seq > instr.seq:
+                    return False  # preemption might fire: simulate it
+            return True
+        if self._blocked_by_fence(instr.seq):
+            return True
+        for src in instr.sources:
+            if src.producer_seq is None or src.value is not None:
+                continue
+            if src.producer_seq not in self._scoreboard:
+                return True  # producer has not broadcast yet
+            # Broadcast happened in a past cycle => ready next cycle.
+        flags = flags_map.get(instr.seq)
+        if flags is None:
+            return False
+        peek = self.scheme.peek_may_issue(self, instr, flags)
+        if peek is None or peek:
+            return False  # unknown, or the instruction would issue
+        return True
+
+    def fast_forward(self, target: int) -> None:
+        """Jump to ``target``, emulating per-cycle bookkeeping exactly.
+
+        The caller must have proven via :meth:`next_event_cycle` that no
+        state-changing event occurs in ``(self.cycle, target]``; every
+        counter a real :meth:`step` would have bumped on those idle
+        cycles is applied here in closed form.
+        """
+        count = target - self.cycle
+        if count <= 0:
+            return
+        self.cycle = target
+        self.stats.cycles += count
+        if self.halted:
+            return
+        for eu in self.eus:
+            eu.note_skipped_cycles(count)
+        self.lsu.note_skipped_cycles(count)
+        if (
+            self._pending_redirect is None
+            and not self._halt_seen
+            and target - count + 1 < self._fetch_stall_until
+        ):
+            self.stats.fetch_stall_cycles += count
+        if self.fetch_queue:
+            if self.rob.full:
+                self.stats.rob_full_stalls += count
+            else:
+                instr = self.fetch_queue[0]
+                oc = instr.opclass
+                needs_rs = oc in (
+                    OpClass.ALU,
+                    OpClass.BRANCH,
+                    OpClass.LOAD,
+                    OpClass.STORE,
+                )
+                if needs_rs and not self.rs.can_accept(instr):
+                    self.stats.rs_full_stalls += count
 
     # ==================================================================
     # safety transitions

@@ -18,7 +18,7 @@ class Phase(enum.Enum):
     SQUASHED = "squashed"
 
 
-@dataclass
+@dataclass(slots=True)
 class SourceOperand:
     """One renamed source: either an in-flight producer or a value."""
 
@@ -27,7 +27,7 @@ class SourceOperand:
     value: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class DynInstr:
     """A dynamic instance of a static instruction."""
 

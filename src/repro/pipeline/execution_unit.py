@@ -19,7 +19,7 @@ from repro.pipeline.config import PortConfig
 from repro.pipeline.dyninstr import DynInstr
 
 
-@dataclass
+@dataclass(slots=True)
 class _InFlight:
     instr: DynInstr
     finish_cycle: int
@@ -62,6 +62,20 @@ class ExecutionUnit:
         if not self._in_flight:
             return None
         return max(op.finish_cycle for op in self._in_flight)
+
+    def earliest_finish(self) -> Optional[int]:
+        """Earliest in-flight completion, or None when idle (used by the
+        idle-cycle fast-forward to compute the next wake-up event)."""
+        if not self._in_flight:
+            return None
+        return min(op.finish_cycle for op in self._in_flight)
+
+    def note_skipped_cycles(self, count: int) -> None:
+        """Account ``count`` fast-forwarded cycles: ``drain_finished``
+        would have found nothing to drain and charged ``busy_cycles``
+        once per cycle while work is in flight."""
+        if self._in_flight:
+            self.busy_cycles += count
 
     def current_occupant(self) -> Optional[DynInstr]:
         """The op occupying a non-pipelined unit (None when idle)."""

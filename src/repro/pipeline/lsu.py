@@ -35,7 +35,7 @@ LS_INFLIGHT = "inflight"
 LS_DONE = "done"
 
 
-@dataclass
+@dataclass(slots=True)
 class _InFlightLoad:
     instr: DynInstr
     finish_cycle: int
@@ -215,6 +215,61 @@ class LoadStoreUnit:
         load.load_state = None
         self._try_start(core, load, cycle)
         return load.load_state != LS_PARKED_FWD
+
+    # ------------------------------------------------------------------
+    # idle-cycle fast-forward support (see Core.next_event_cycle)
+    # ------------------------------------------------------------------
+    def earliest_completion(self) -> Optional[int]:
+        """Earliest in-flight data return, or None when nothing is out."""
+        if not self._inflight:
+            return None
+        return min(f.finish_cycle for f in self._inflight)
+
+    def parked_loads(self) -> List[DynInstr]:
+        return self._parked
+
+    def parked_load_keeps_waiting(self, core: "Core", load: DynInstr) -> bool:
+        """Side-effect-free: would this parked load still be parked in
+        the *same state* after the next :meth:`retry_parked` pass?
+
+        Mirrors :meth:`_retry_forward` / :meth:`_evaluate` without any
+        state change.  Returns False whenever the outcome is uncertain
+        (e.g. the scheme cannot preview its decision), which merely
+        disables fast-forwarding for that window.
+        """
+        if load.load_state == LS_PARKED_FWD:
+            for store in core.rob.older_stores(load.seq):
+                if store.addr is None:
+                    return True  # still ambiguous: stays parked
+                if store.addr == load.addr and store.value is None:
+                    return True  # forwarding store's data not ready
+            return False  # disambiguation would complete: simulate it
+        decision = self.scheme.peek_load_decision(core, load, load.became_safe)
+        if decision is None:
+            return False
+        if load.load_state == LS_PARKED_SCHEME:
+            return decision is LoadDecision.DELAY
+        # LS_PARKED_MSHR: stays only if it would again need an MSHR and
+        # none is available.
+        if decision not in (LoadDecision.VISIBLE, LoadDecision.INVISIBLE):
+            return False
+        assert load.addr is not None
+        if self.hierarchy.l1_hit(self.core_id, load.addr):
+            return False
+        line = self.hierarchy.llc.layout.line_addr(load.addr)
+        return not self.mshrs.can_allocate(line)
+
+    def note_skipped_cycles(self, count: int) -> None:
+        """Account ``count`` fast-forwarded cycles of parked-load
+        retries: a scheme-delayed load is re-evaluated (and re-counted)
+        once per cycle; a persistently MSHR-blocked load is counted
+        twice per cycle (once in :meth:`_evaluate`, once in the
+        ``was_mshr`` re-check in :meth:`retry_parked`)."""
+        for load in self._parked:
+            if load.load_state == LS_PARKED_SCHEME:
+                self.stats_delayed += count
+            elif load.load_state == LS_PARKED_MSHR:
+                self.stats_mshr_blocked_cycles += 2 * count
 
     def collect_completions(self, cycle: int) -> List[DynInstr]:
         """Loads whose data returns this cycle (MSHRs released here)."""

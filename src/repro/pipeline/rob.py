@@ -17,7 +17,7 @@ from typing import Deque, Dict, Iterable, Iterator, List, Optional
 from repro.pipeline.dyninstr import DynInstr, Phase
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SafetyFlags:
     """Prefix predicates over all *older* ROB entries."""
 
@@ -31,6 +31,18 @@ class SafetyFlags:
     older_loads_completed: bool
     older_all_completed: bool
     is_oldest: bool
+
+
+#: The flag space is tiny (2^6 combinations) and ``safety_flags`` builds
+#: one instance per ROB entry per cycle — intern them instead.
+_FLAGS_CACHE: Dict[tuple, SafetyFlags] = {}
+
+
+def _interned_flags(key: tuple) -> SafetyFlags:
+    flags = _FLAGS_CACHE.get(key)
+    if flags is None:
+        flags = _FLAGS_CACHE.setdefault(key, SafetyFlags(*key))
+    return flags
 
 
 class ROB:
@@ -97,13 +109,15 @@ class ROB:
         all_completed = True
         first = True
         for entry in self._entries:
-            flags[entry.seq] = SafetyFlags(
-                older_branches_resolved=branches_resolved,
-                older_stores_addr_resolved=stores_addr_resolved,
-                older_mem_addr_resolved=mem_addr_resolved,
-                older_loads_completed=loads_completed,
-                older_all_completed=all_completed,
-                is_oldest=first,
+            flags[entry.seq] = _interned_flags(
+                (
+                    branches_resolved,
+                    stores_addr_resolved,
+                    mem_addr_resolved,
+                    loads_completed,
+                    all_completed,
+                    first,
+                )
             )
             first = False
             if entry.is_unresolved_branch:

@@ -106,6 +106,25 @@ class SpeculationScheme:
         """Decide how a ready load may access memory *this cycle*."""
         return LoadDecision.VISIBLE
 
+    def peek_load_decision(
+        self, core: "Core", load: DynInstr, safe: bool
+    ) -> Optional[LoadDecision]:
+        """Side-effect-free preview of :meth:`load_decision`.
+
+        The idle-cycle fast-forward (``Core.next_event_cycle``) uses this
+        to prove a parked load would stay parked on the next cycle.  A
+        scheme whose decision depends on mutable state it cannot preview
+        returns ``None``, which disables fast-forwarding while any of
+        its loads are parked — always safe, merely slower.
+
+        The default handles the base (unsafe) scheme; subclasses that
+        override :meth:`load_decision` must override this too (or accept
+        the conservative ``None``).
+        """
+        if type(self).load_decision is SpeculationScheme.load_decision:
+            return LoadDecision.VISIBLE
+        return None
+
     def on_load_complete(self, core: "Core", load: DynInstr) -> None:
         """Data returned to the core (visible or invisible)."""
 
@@ -121,6 +140,15 @@ class SpeculationScheme:
     def may_issue(self, core: "Core", instr: DynInstr, flags: SafetyFlags) -> bool:
         """Gate issue (fence defenses return False while speculative)."""
         return True
+
+    def peek_may_issue(
+        self, core: "Core", instr: DynInstr, flags: SafetyFlags
+    ) -> Optional[bool]:
+        """Side-effect-free preview of :meth:`may_issue` (``None`` =
+        unknown; see :meth:`peek_load_decision` for the contract)."""
+        if type(self).may_issue is SpeculationScheme.may_issue:
+            return True
+        return None
 
     def fetch_visible(self, core: "Core", speculative: bool) -> bool:
         """Visibility of an instruction fetch."""

@@ -1,0 +1,42 @@
+"""Sweep runner: fan independent trials over worker processes.
+
+The experiment drivers (Table 1 matrix, Figure 12 overheads, the
+examples) are embarrassingly parallel: every trial builds its own
+Machine from picklable *descriptions* and returns a picklable summary.
+This package provides the spec/summary types and two interchangeable
+runners:
+
+* :class:`SerialSweepRunner` — same interface, in-process (the
+  reference implementation; used for byte-identical reproduction and on
+  single-CPU hosts).
+* :class:`ParallelSweepRunner` — chunked fan-out over
+  ``concurrent.futures.ProcessPoolExecutor``; Machines and Cores are
+  constructed worker-side so nothing unpicklable crosses the process
+  boundary.
+
+Determinism: a :class:`TrialSpec` carries an explicit per-trial seed
+(derived stably by :func:`expand_grid` via CRC32, not Python's salted
+``hash``), so serial and parallel execution produce identical
+:class:`TrialSummary` sequences in identical order.
+"""
+
+from repro.runner.spec import SweepResult, TrialSpec, TrialSummary, expand_grid
+from repro.runner.runner import (
+    ParallelSweepRunner,
+    SerialSweepRunner,
+    SweepRunner,
+    make_runner,
+    run_trial_spec,
+)
+
+__all__ = [
+    "TrialSpec",
+    "TrialSummary",
+    "SweepResult",
+    "expand_grid",
+    "SweepRunner",
+    "SerialSweepRunner",
+    "ParallelSweepRunner",
+    "make_runner",
+    "run_trial_spec",
+]

@@ -1,0 +1,167 @@
+"""Serial and process-parallel sweep runners.
+
+Both runners expose the same two entry points:
+
+* :meth:`SweepRunner.run` — execute a list of :class:`TrialSpec`s and
+  return a :class:`SweepResult` in spec order;
+* :meth:`SweepRunner.map` — order-preserving map of an arbitrary
+  module-level function over items (used by the matrix/overhead
+  drivers, whose work units are not victim trials).
+
+The parallel runner submits *chunks* so small trials amortize IPC
+overhead, constructs every Machine/Core worker-side, and ships only
+picklable :class:`TrialSummary` objects back.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.runner.spec import SweepResult, TrialSpec, TrialSummary
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment override for the default worker count.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+def run_trial_spec(spec: TrialSpec) -> TrialSummary:
+    """Execute one trial from its picklable description.
+
+    Module-level (picklable by reference) and self-contained: builds the
+    victim from the registry and the Machine/Core inside the calling
+    process, so it works identically in the parent and in pool workers.
+    """
+    # Imported here, not at module top: pool workers (re-)import this
+    # module before running anything, and the light import keeps worker
+    # spin-up cheap when the pool is larger than the task list.
+    from repro.core.harness import run_victim_trial
+    from repro.core.victims import victim_by_name
+
+    victim = victim_by_name(spec.victim, **dict(spec.victim_kwargs))
+    result = run_victim_trial(
+        victim,
+        spec.scheme,
+        spec.secret,
+        hierarchy_config=spec.hierarchy_config,
+        reference_accesses=spec.reference_accesses,
+        noise_rate=spec.noise_rate,
+        noise_pool=spec.noise_pool,
+        seed=spec.seed,
+        max_cycles=spec.max_cycles,
+        extra_lines=spec.extra_lines,
+    )
+    assert result.core is not None
+    return TrialSummary(
+        victim=spec.victim,
+        scheme=result.scheme,
+        secret=spec.secret,
+        seed=spec.seed,
+        cycles=result.cycles,
+        access_cycle=dict(result.access_cycle),
+        visible=tuple(result.visible),
+        retired=result.core.stats.retired,
+        line_a=victim.line_a,
+        line_b=victim.line_b,
+    )
+
+
+class SweepRunner:
+    """Interface shared by the serial and parallel runners."""
+
+    #: Worker processes this runner fans out to (1 = in-process).
+    workers: int = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        raise NotImplementedError
+
+    def run(self, specs: Sequence[TrialSpec]) -> SweepResult:
+        start = time.perf_counter()
+        summaries = self.map(run_trial_spec, specs)
+        return SweepResult(
+            summaries=summaries,
+            elapsed=time.perf_counter() - start,
+            workers=self.workers,
+        )
+
+    def close(self) -> None:
+        """Release pool resources (no-op for the serial runner)."""
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialSweepRunner(SweepRunner):
+    """In-process reference runner (identical interface, zero fan-out)."""
+
+    workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ParallelSweepRunner(SweepRunner):
+    """Chunked fan-out over a ``ProcessPoolExecutor``.
+
+    ``chunksize`` defaults to spreading the items roughly four chunks
+    per worker — large enough to amortize pickling, small enough to
+    load-balance uneven trials.  Results always come back in item order.
+    """
+
+    def __init__(
+        self, workers: Optional[int] = None, *, chunksize: Optional[int] = None
+    ) -> None:
+        self.workers = max(1, workers if workers is not None else default_workers())
+        self._chunksize = chunksize
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _chunk(self, n_items: int) -> int:
+        if self._chunksize is not None:
+            return max(1, self._chunksize)
+        return max(1, n_items // (self.workers * 4) or 1)
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        if self.workers == 1:
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        return list(pool.map(fn, items, chunksize=self._chunk(len(items))))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_SWEEP_WORKERS`` or the CPU count."""
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def make_runner(workers: Optional[int] = None) -> SweepRunner:
+    """The sensible default: parallel when it can help, serial when a
+    pool would only add process overhead (single CPU, or workers=1)."""
+    resolved = workers if workers is not None else default_workers()
+    if resolved <= 1:
+        return SerialSweepRunner()
+    return ParallelSweepRunner(resolved)

@@ -1,0 +1,142 @@
+"""Picklable trial descriptions and result summaries.
+
+A :class:`TrialSpec` references its victim *by registry name* plus
+factory kwargs: a built :class:`~repro.core.victims.VictimSpec` holds a
+:class:`~repro.isa.program.Program` full of lambdas and cannot cross a
+process boundary.  Workers rebuild the victim (and the Machine/Core
+under it) on their own side.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.memory.hierarchy import HierarchyConfig, VisibleAccess
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent victim trial, fully described by picklable data."""
+
+    victim: str
+    scheme: str
+    secret: int
+    #: Kwargs for the victim factory, as sorted (name, value) pairs so
+    #: specs hash/compare stably.
+    victim_kwargs: Tuple[Tuple[str, object], ...] = ()
+    seed: int = 0
+    reference_accesses: Tuple[Tuple[int, int], ...] = ()
+    noise_rate: float = 0.0
+    noise_pool: Tuple[int, ...] = ()
+    extra_lines: Tuple[int, ...] = ()
+    max_cycles: int = 20_000
+    hierarchy_config: Optional[HierarchyConfig] = None
+
+    def label(self) -> str:
+        return f"{self.victim}/{self.scheme}/s{self.secret}"
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """The picklable observable outcome of one trial.
+
+    Everything :class:`~repro.core.harness.TrialResult` reports except
+    the live ``machine``/``core`` handles (unpicklable, and megabytes of
+    state nobody aggregates).
+    """
+
+    victim: str
+    scheme: str
+    secret: int
+    seed: int
+    cycles: int
+    #: line address -> cycle of first visible LLC access (None if none).
+    access_cycle: Dict[int, Optional[int]]
+    visible: Tuple[VisibleAccess, ...]
+    retired: int
+    #: Monitored (line_a, line_b) from the victim spec, when defined.
+    line_a: Optional[int] = None
+    line_b: Optional[int] = None
+
+    def first_access(self, line: int) -> Optional[int]:
+        return self.access_cycle.get(line)
+
+    def order(self, line_x: int, line_y: int) -> Optional[str]:
+        """'xy', 'yx', or None when either access is missing."""
+        tx, ty = self.first_access(line_x), self.first_access(line_y)
+        if tx is None or ty is None or tx == ty:
+            return None
+        return "xy" if tx < ty else "yx"
+
+    def ab_order(self) -> Optional[str]:
+        if self.line_a is None or self.line_b is None:
+            return None
+        return self.order(self.line_a, self.line_b)
+
+
+@dataclass
+class SweepResult:
+    """Ordered trial summaries plus sweep-level bookkeeping."""
+
+    summaries: List[TrialSummary]
+    elapsed: float
+    workers: int
+
+    def __len__(self) -> int:
+        return len(self.summaries)
+
+    def __iter__(self) -> Iterator[TrialSummary]:
+        return iter(self.summaries)
+
+    def __getitem__(self, index: int) -> TrialSummary:
+        return self.summaries[index]
+
+    @property
+    def trials_per_second(self) -> float:
+        return len(self.summaries) / self.elapsed if self.elapsed else 0.0
+
+    def by_scheme(self) -> Dict[str, List[TrialSummary]]:
+        grouped: Dict[str, List[TrialSummary]] = {}
+        for summary in self.summaries:
+            grouped.setdefault(summary.scheme, []).append(summary)
+        return grouped
+
+
+def trial_seed(victim: str, scheme: str, secret: int, base_seed: int = 0) -> int:
+    """Stable per-trial seed.  CRC32 of the identity string, not
+    ``hash()``: Python string hashing is salted per process, which would
+    make parallel workers disagree with the parent."""
+    identity = f"{victim}|{scheme}|{secret}|{base_seed}"
+    return zlib.crc32(identity.encode()) & 0x7FFFFFFF
+
+
+def expand_grid(
+    victims: Sequence[str],
+    schemes: Sequence[str],
+    secrets: Sequence[int] = (0, 1),
+    *,
+    base_seed: int = 0,
+    victim_kwargs: Optional[Dict[str, Dict[str, object]]] = None,
+    **common,
+) -> List[TrialSpec]:
+    """Cartesian victim x scheme x secret grid with stable per-trial
+    seeds.  ``victim_kwargs`` maps victim name -> factory kwargs;
+    ``common`` is forwarded to every :class:`TrialSpec`."""
+    specs = []
+    for victim in victims:
+        kwargs = tuple(sorted(((victim_kwargs or {}).get(victim, {})).items()))
+        for scheme in schemes:
+            for secret in secrets:
+                specs.append(
+                    TrialSpec(
+                        victim=victim,
+                        scheme=scheme,
+                        secret=secret,
+                        victim_kwargs=kwargs,
+                        seed=trial_seed(victim, scheme, secret, base_seed),
+                        **common,
+                    )
+                )
+    return specs

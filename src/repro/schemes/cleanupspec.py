@@ -45,6 +45,9 @@ class CleanupSpec(SpeculationScheme):
                 self._undo_log[(core.core_id, load.seq)] = line
         return LoadDecision.VISIBLE
 
+    def peek_load_decision(self, core, load, safe):
+        return LoadDecision.VISIBLE
+
     def on_load_safe(self, core: "Core", load: DynInstr) -> None:
         """Load committed to the visible world: forget its undo entry."""
         self._undo_log.pop((core.core_id, load.seq), None)

@@ -45,6 +45,13 @@ class ConditionalSpeculation(SpeculationScheme):
         self.delayed_misses += 1
         return LoadDecision.DELAY
 
+    def peek_load_decision(self, core, load, safe):
+        if safe:
+            return LoadDecision.VISIBLE
+        if core.hierarchy.l1_hit(core.core_id, load.addr, AccessKind.DATA):
+            return LoadDecision.INVISIBLE
+        return LoadDecision.DELAY
+
     def on_load_safe(self, core: "Core", load: DynInstr) -> None:
         addr = self._deferred_touch.pop((core.core_id, load.seq), None)
         if addr is not None:

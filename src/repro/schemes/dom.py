@@ -80,6 +80,13 @@ class DelayOnMiss(SpeculationScheme):
         self.delayed_misses += 1
         return LoadDecision.DELAY
 
+    def peek_load_decision(self, core, load, safe):
+        if safe:
+            return LoadDecision.VISIBLE
+        if core.hierarchy.l1_hit(core.core_id, load.addr, AccessKind.DATA):
+            return LoadDecision.INVISIBLE
+        return LoadDecision.PREDICT if self.value_predict else LoadDecision.DELAY
+
     def predict_value(self, core: "Core", load: DynInstr) -> int:
         return self._last_value.get(load.slot, 0)
 

@@ -49,7 +49,15 @@ class FenceDefense(SpeculationScheme):
             self.issue_blocks += 1
         return allowed
 
+    def peek_may_issue(self, core, instr, flags):
+        if self.model == "spectre":
+            return flags.older_branches_resolved
+        return flags.older_all_completed
+
     def load_decision(self, core: "Core", load: DynInstr, safe: bool) -> LoadDecision:
         # Loads only ever reach the LSU once non-speculative (issue is
         # gated above), so they are always visible.
+        return LoadDecision.VISIBLE
+
+    def peek_load_decision(self, core, load, safe):
         return LoadDecision.VISIBLE

@@ -47,6 +47,9 @@ class InvisiSpec(SpeculationScheme):
         self.invisible_loads += 1
         return LoadDecision.INVISIBLE
 
+    def peek_load_decision(self, core, load, safe):
+        return LoadDecision.VISIBLE if safe else LoadDecision.INVISIBLE
+
     def on_load_safe(self, core: "Core", load: DynInstr) -> None:
         """Exposure: make the earlier invisible access visible."""
         if not load.executed_invisibly or load.exposure_done:

@@ -67,6 +67,12 @@ class MuonTrap(SpeculationScheme):
         # misses because the L1 probe misses).
         return LoadDecision.INVISIBLE
 
+    def peek_load_decision(self, core, load, safe):
+        # The filter bookkeeping in load_decision is idempotent for a
+        # parked load (same line, no interleaving traffic while every
+        # core is quiescent), so previewing just the decision is exact.
+        return LoadDecision.VISIBLE if safe else LoadDecision.INVISIBLE
+
     def on_load_safe(self, core: "Core", load: DynInstr) -> None:
         if not load.executed_invisibly or load.exposure_done:
             return

@@ -48,6 +48,9 @@ class PriorityDefense(SpeculationScheme):
     def load_decision(self, core: "Core", load: DynInstr, safe: bool) -> LoadDecision:
         return self.base.load_decision(core, load, safe)
 
+    def peek_load_decision(self, core, load, safe):
+        return self.base.peek_load_decision(core, load, safe)
+
     def on_load_complete(self, core: "Core", load: DynInstr) -> None:
         self.base.on_load_complete(core, load)
 
@@ -56,6 +59,9 @@ class PriorityDefense(SpeculationScheme):
 
     def may_issue(self, core: "Core", instr: DynInstr, flags: SafetyFlags) -> bool:
         return self.base.may_issue(core, instr, flags)
+
+    def peek_may_issue(self, core, instr, flags):
+        return self.base.peek_may_issue(core, instr, flags)
 
     def fetch_visible(self, core: "Core", speculative: bool) -> bool:
         return self.base.fetch_visible(core, speculative)

@@ -70,6 +70,9 @@ class SafeSpec(SpeculationScheme):
         self.invisible_loads += 1
         return LoadDecision.INVISIBLE
 
+    def peek_load_decision(self, core, load, safe):
+        return LoadDecision.VISIBLE if safe else LoadDecision.INVISIBLE
+
     def on_load_safe(self, core: "Core", load: DynInstr) -> None:
         if not load.executed_invisibly or load.exposure_done:
             return

@@ -93,9 +93,15 @@ class STT(SpeculationScheme):
             self.tainted_values += 1
         return True
 
+    def peek_may_issue(self, core, instr, flags):
+        return not (self._live_taint(instr) and self._is_transmitter(instr))
+
     def load_decision(self, core: "Core", load: DynInstr, safe: bool) -> LoadDecision:
         # Loads with untainted addresses execute normally; their own
         # *values* carry the taint instead (that is STT's bargain).
+        return LoadDecision.VISIBLE
+
+    def peek_load_decision(self, core, load, safe):
         return LoadDecision.VISIBLE
 
     def on_load_safe(self, core: "Core", load: DynInstr) -> None:

@@ -13,6 +13,7 @@ its own core id rather than a second simulated pipeline.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
@@ -30,11 +31,17 @@ class TimedRead:
 class AttackerAgent:
     """Receiver running on ``core_id`` of ``machine``."""
 
-    def __init__(self, machine: Machine, core_id: int) -> None:
+    def __init__(
+        self, machine: Machine, core_id: int, *, seed: Optional[int] = None
+    ) -> None:
         if not 0 <= core_id < machine.num_cores:
             raise ValueError("attacker core out of range")
         self.machine = machine
         self.core_id = core_id
+        #: Private RNG for randomized receiver behaviour (shuffled prime
+        #: orders etc.); seeded explicitly so every trial in a sweep is
+        #: reproducible independent of global RNG state.
+        self.rng = random.Random(seed)
         self.reads = 0
         #: Cycles the receiver itself spent on its accesses (prime/probe
         #: cost, charged to the covert channel's per-bit budget).
@@ -86,10 +93,17 @@ class AttackerAgent:
         self.hierarchy.l1i[self.core_id].invalidate(line)
         self.hierarchy.l2[self.core_id].invalidate(line)
 
-    def prime_lines(self, addrs: Sequence[int], *, rounds: int = 1) -> None:
-        """Access a set of lines repeatedly (prime step)."""
+    def prime_lines(
+        self, addrs: Sequence[int], *, rounds: int = 1, shuffle: bool = False
+    ) -> None:
+        """Access a set of lines repeatedly (prime step).  ``shuffle``
+        randomizes the order per round from the agent's seeded RNG —
+        the standard trick against prefetcher/replacement pattern bias."""
         for _ in range(rounds):
-            for addr in addrs:
+            order = list(addrs)
+            if shuffle:
+                self.rng.shuffle(order)
+            for addr in order:
                 self.read(addr)
 
     # ------------------------------------------------------------------

@@ -98,11 +98,23 @@ class Machine:
         *,
         max_cycles: int = 1_000_000,
         until: Optional[Callable[[], bool]] = None,
+        fast_forward: Optional[bool] = None,
     ) -> int:
         """Step until every attached core halts (or ``until`` fires).
 
+        ``fast_forward`` skips runs of provably idle cycles (every core
+        quiescent, no scheduled action, no cycle hook) while reproducing
+        per-cycle statistics exactly — see ``Core.next_event_cycle``.
+        The default (``None``) enables it only when ``until`` is not
+        given: an ``until`` predicate may observe the cycle counter
+        itself, which skipping would overshoot.  Pass ``True`` only when
+        the predicate depends on state that changes in ``step`` (e.g.
+        ``lambda: core.halted``).
+
         Returns the final cycle count.
         """
+        if fast_forward is None:
+            fast_forward = until is None
         start = self.cycle
         while True:
             if until is not None and until():
@@ -113,7 +125,42 @@ class Machine:
                 raise DeadlockError(
                     f"machine exceeded {max_cycles} cycles without finishing"
                 )
+            if fast_forward:
+                target = self._fast_forward_target(start, max_cycles)
+                if target is not None:
+                    for core in self.cores.values():
+                        if not core.halted:
+                            core.fast_forward(target)
+                    self.cycle = target
+                    continue
             self.step()
+
+    def _fast_forward_target(self, start: int, max_cycles: int) -> Optional[int]:
+        """Latest cycle all attached cores can jump to without missing
+        an event, or None when the next cycle must be simulated."""
+        if self._cycle_hooks or not self.cores:
+            return None
+        wake: Optional[int] = None
+        for core in self.cores.values():
+            if core.halted:
+                continue
+            core_wake = core.next_event_cycle()
+            if core_wake is None:
+                return None
+            wake = core_wake if wake is None else min(wake, core_wake)
+        if wake is None:
+            return None  # every core halted
+        if self._scheduled:
+            at_cycle = self._scheduled[0][0]
+            if at_cycle <= self.cycle + 1:
+                return None
+            wake = min(wake, at_cycle)
+        # Do not skip past the run-level deadlock horizon.
+        wake = min(wake, start + max_cycles + 1)
+        target = wake - 1
+        if target <= self.cycle:
+            return None
+        return target
 
     def run_cycles(self, n: int) -> None:
         for _ in range(n):
