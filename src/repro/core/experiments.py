@@ -110,6 +110,10 @@ def run_workload(
     # behaviour is the workload's own.
     machine.warm_icache(0, workload.program)
     core = machine.attach(0, workload.program, scheme_obj)
+    # Attribution for cycle-budget overruns inside large overhead sweeps.
+    context = f"workload={workload.name} scheme={scheme_obj.name}"
+    machine.trial_context = context
+    core.trial_context = context
     machine.run(
         until=lambda: core.halted, max_cycles=max_cycles, fast_forward=True
     )

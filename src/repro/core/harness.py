@@ -137,11 +137,16 @@ def run_victim_trial(
     max_cycles: int = 20_000,
     trace: bool = False,
     extra_lines: Sequence[int] = (),
+    fault_injector=None,
 ) -> TrialResult:
     """Run one prepared victim to completion and observe the LLC log.
 
     ``reference_accesses`` are the attacker's fixed-time "clock" accesses
     of §3.3 (``(address, cycle)`` pairs, issued from the attacker core).
+
+    ``fault_injector`` (a :class:`repro.runner.faults.FaultInjector`) is
+    installed on the machine for deterministic fault-injection tests; it
+    disables idle fast-forwarding so injected faults land cycle-exactly.
     """
     if secret not in (0, 1):
         raise ValueError("secret must be a bit")
@@ -153,6 +158,16 @@ def run_victim_trial(
         core_config=core_config,
         trace=trace,
     )
+    # Identity baked into any DeadlockError raised below, so a failed
+    # trial deep inside a sweep is attributable from the record alone.
+    context = (
+        f"victim={spec.name} scheme={scheme_obj.name} "
+        f"secret={secret} seed={seed}"
+    )
+    machine.trial_context = context
+    core.trial_context = context
+    if fault_injector is not None:
+        machine.fault_injector = fault_injector
     agent = AttackerAgent(machine, ATTACKER_CORE, seed=seed)
     for addr, cycle in reference_accesses:
         agent.schedule_read(addr, cycle)

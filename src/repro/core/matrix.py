@@ -16,10 +16,12 @@ paper treats as equivalent to a covert channel (§3.3).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.harness import TrialResult, run_victim_trial
+from repro.pipeline.core import DeadlockError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runner import SweepRunner
@@ -62,6 +64,10 @@ class MatrixCell:
     t_secret0: Optional[int]
     t_secret1: Optional[int]
     detail: str = ""
+    #: Set when the cell's trials faulted (``on_error="report"``): the
+    #: exception as ``"Type: message"``.  Failed cells are never marked
+    #: vulnerable.
+    error: Optional[str] = None
 
     @property
     def key(self) -> Tuple[str, str, str]:
@@ -92,8 +98,33 @@ def _monitored_line(spec: VictimSpec, ordering: str) -> int:
     return spec.target_iline
 
 
-def evaluate_cell(gadget: str, ordering: str, scheme: str) -> MatrixCell:
-    """Run the (up to four) trials needed to judge one matrix cell."""
+def evaluate_cell(
+    gadget: str, ordering: str, scheme: str, *, on_error: str = "raise"
+) -> MatrixCell:
+    """Run the (up to four) trials needed to judge one matrix cell.
+
+    ``on_error="report"`` contains simulator faults (deadlocks,
+    cycle-budget overruns, bad configurations) to the cell: the cell
+    comes back non-vulnerable with :attr:`MatrixCell.error` set instead
+    of aborting the whole matrix.  The default keeps the strict
+    historical behaviour.
+    """
+    if on_error not in ("raise", "report"):
+        raise ValueError(f"on_error must be 'raise' or 'report', not {on_error!r}")
+    if on_error == "report":
+        try:
+            return evaluate_cell(gadget, ordering, scheme)
+        except (DeadlockError, ValueError, AssertionError) as exc:
+            return MatrixCell(
+                gadget,
+                ordering,
+                scheme,
+                False,
+                None,
+                None,
+                detail="trial failed",
+                error=f"{type(exc).__name__}: {exc}",
+            )
     spec = _victim_for(gadget, ordering)
     if spec is None:
         return MatrixCell(gadget, ordering, scheme, False, None, None, "n/a")
@@ -143,10 +174,12 @@ def evaluate_cell(gadget: str, ordering: str, scheme: str) -> MatrixCell:
     return MatrixCell(gadget, ordering, scheme, vulnerable, t0, t1, detail)
 
 
-def _evaluate_cell_task(task: Tuple[str, str, str]) -> MatrixCell:
+def _evaluate_cell_task(
+    task: Tuple[str, str, str], on_error: str = "raise"
+) -> MatrixCell:
     """Unary adapter for runner.map / executor.map (module-level so it
     pickles by reference into pool workers)."""
-    return evaluate_cell(*task)
+    return evaluate_cell(*task, on_error=on_error)
 
 
 def run_matrix(
@@ -155,20 +188,23 @@ def run_matrix(
     orderings: Sequence[str] = ORDERINGS,
     *,
     runner: Optional["SweepRunner"] = None,
+    on_error: str = "raise",
 ) -> List[MatrixCell]:
     """Evaluate the full matrix.  Cells are independent, so a
     :class:`repro.runner.SweepRunner` fans them out across processes;
     results come back in the same deterministic (gadget, ordering,
-    scheme) order either way."""
+    scheme) order either way.  ``on_error="report"`` contains per-cell
+    simulator faults to their cell (see :func:`evaluate_cell`)."""
     tasks = [
         (gadget, ordering, scheme)
         for gadget in gadgets
         for ordering in orderings
         for scheme in (schemes or DEFAULT_SCHEMES)
     ]
+    fn = functools.partial(_evaluate_cell_task, on_error=on_error)
     if runner is None:
-        return [evaluate_cell(*task) for task in tasks]
-    return runner.map(_evaluate_cell_task, tasks)
+        return [fn(task) for task in tasks]
+    return runner.map(fn, tasks)
 
 
 def format_matrix(cells: Sequence[MatrixCell]) -> str:

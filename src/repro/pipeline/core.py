@@ -29,7 +29,34 @@ from repro.pipeline.scheme_api import SpeculationScheme, is_safe
 
 
 class DeadlockError(RuntimeError):
-    """No instruction retired for an implausibly long window."""
+    """No instruction retired for an implausibly long window.
+
+    Carries the simulated ``cycle`` the fault was detected at and, when
+    the raiser runs inside a sweep trial, a ``context`` string naming
+    the victim/scheme/secret/seed — so one failed trial in a 10k-trial
+    sweep is attributable from the failure record (or journal) alone.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cycle: Optional[int] = None,
+        context: Optional[str] = None,
+    ) -> None:
+        if context:
+            message = f"{message} [{context}]"
+        super().__init__(message)
+        self.cycle = cycle
+        self.context = context
+
+
+class CycleBudgetError(DeadlockError):
+    """The run exceeded its ``max_cycles`` budget without finishing.
+
+    A :class:`DeadlockError` subclass so existing handlers keep working;
+    distinguishable where the difference matters (a budget overrun may
+    just mean the budget was too small for the workload)."""
 
 
 @dataclass
@@ -111,6 +138,12 @@ class Core:
         self.trace: List[DynInstr] = []
         self._last_progress_cycle = 0
         self.deadlock_window = 100_000
+        #: Human-readable trial identity (victim/scheme/secret/seed),
+        #: set by sweep harnesses and baked into DeadlockError messages.
+        self.trial_context: Optional[str] = None
+        #: Optional deterministic fault source (repro.runner.faults);
+        #: consulted once per step when installed.
+        self.fault_injector = None
 
     # ==================================================================
     # public driving API
@@ -121,6 +154,8 @@ class Core:
             raise ValueError("cycles must be monotonically increasing")
         self.cycle = cycle
         self.stats.cycles += 1
+        if self.fault_injector is not None:
+            self.fault_injector.on_core_cycle(self)
         if self.halted:
             return
         self.safety_flags = self.rob.safety_flags()
@@ -146,7 +181,9 @@ class Core:
             raise DeadlockError(
                 f"core {self.core_id}: no retirement for "
                 f"{self.deadlock_window} cycles (cycle {cycle}); "
-                f"ROB head: {self.rob.head()!r}"
+                f"ROB head: {self.rob.head()!r}",
+                cycle=cycle,
+                context=self.trial_context,
             )
 
     def run(
@@ -154,10 +191,16 @@ class Core:
     ) -> CoreStats:
         """Run standalone until HALT retires (single-core convenience)."""
         limit = max_cycles or self.config.max_cycles
+        if self.fault_injector is not None:
+            # The fast-forward oracle cannot see injected faults; step
+            # every cycle so a fault at cycle N fires exactly at N.
+            fast_forward = False
         while not self.halted:
             if self.cycle >= limit:
-                raise DeadlockError(
-                    f"core {self.core_id} exceeded {limit} cycles"
+                raise CycleBudgetError(
+                    f"core {self.core_id} exceeded {limit} cycles",
+                    cycle=self.cycle,
+                    context=self.trial_context,
                 )
             if fast_forward:
                 wake = self.next_event_cycle()

@@ -17,26 +17,54 @@ runners:
 Determinism: a :class:`TrialSpec` carries an explicit per-trial seed
 (derived stably by :func:`expand_grid` via CRC32, not Python's salted
 ``hash``), so serial and parallel execution produce identical
-:class:`TrialSummary` sequences in identical order.
+:class:`TrialSummary` sequences in identical order — including across
+retries and checkpoint resumes.
+
+Fault tolerance: ``run``/``run_outcomes`` isolate simulator faults as
+structured :class:`TrialOutcome` records (see
+:attr:`SweepResult.failures` / :meth:`SweepResult.raise_if_failed`),
+retry lost workers and wall-clock timeouts, and checkpoint finished
+trials into a :class:`TrialJournal` for interrupt–resume.  The
+:mod:`repro.runner.faults` harness injects deterministic faults to
+prove those paths in tests and CI.
 """
 
-from repro.runner.spec import SweepResult, TrialSpec, TrialSummary, expand_grid
+from repro.runner.spec import (
+    SweepFailure,
+    SweepResult,
+    TrialOutcome,
+    TrialSpec,
+    TrialStatus,
+    TrialSummary,
+    expand_grid,
+)
+from repro.runner.journal import TrialJournal
 from repro.runner.runner import (
     ParallelSweepRunner,
     SerialSweepRunner,
     SweepRunner,
     make_runner,
+    run_trial_outcome,
     run_trial_spec,
 )
+from repro.runner.faults import FaultInjector, FaultPlan, FaultSpec
 
 __all__ = [
     "TrialSpec",
     "TrialSummary",
+    "TrialOutcome",
+    "TrialStatus",
     "SweepResult",
+    "SweepFailure",
+    "TrialJournal",
     "expand_grid",
     "SweepRunner",
     "SerialSweepRunner",
     "ParallelSweepRunner",
     "make_runner",
     "run_trial_spec",
+    "run_trial_outcome",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
 ]

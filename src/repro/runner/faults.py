@@ -1,0 +1,212 @@
+"""Deterministic fault injection for sweep-resilience testing.
+
+The resilience layer (trial isolation, retry, checkpoint–resume) is only
+trustworthy if its failure paths are exercised on demand.  This module
+provides that switchboard:
+
+* :class:`FaultSpec` — one fault: *what* to inject (a forced deadlock at
+  a chosen cycle, a wall-clock stall past the trial deadline, a worker
+  kill, a plain exception), *which* trials it hits (victim/scheme/secret
+  selectors), and for *how many attempts* it keeps firing
+  (``max_attempts=1`` makes retries succeed — the transient-fault
+  shape; a large value makes the fault deterministic/permanent).
+* :class:`FaultPlan` — an ordered set of FaultSpecs, JSON-serializable
+  so the parent process can ship it to pool workers (and to spawned
+  subprocesses via the ``REPRO_FAULT_PLAN`` environment variable).
+* :class:`FaultInjector` — the in-simulator hook.  Installed on a
+  :class:`~repro.system.machine.Machine` (or standalone
+  :class:`~repro.pipeline.core.Core`) it is consulted once per cycle and
+  fires its fault cycle-exactly; installation disables idle
+  fast-forwarding so the target cycle is actually stepped.
+
+Faults are deterministic by construction: whether one fires depends only
+on the trial spec and the attempt number, never on wall-clock or RNG —
+the same plan over the same grid always produces the same outcome set.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Optional, Tuple
+
+from repro.pipeline.core import DeadlockError
+
+#: Environment variable ``install_plan`` mirrors the active plan into,
+#: so freshly spawned interpreter processes inherit it at startup.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Exit code an injected worker kill dies with (visible in pool logs).
+KILL_EXIT_CODE = 86
+
+#: Recognized fault kinds.
+KIND_DEADLOCK = "deadlock"
+KIND_STALL = "stall"
+KIND_WORKER_KILL = "worker-kill"
+KIND_ERROR = "error"
+_KINDS = (KIND_DEADLOCK, KIND_STALL, KIND_WORKER_KILL, KIND_ERROR)
+
+
+class WorkerKilled(RuntimeError):
+    """Stand-in for a worker kill when there is no worker to kill.
+
+    An injected ``worker-kill`` in a pool worker calls ``os._exit`` (the
+    real thing: the parent sees a broken pool).  In the main process —
+    the serial runner — dying would defeat the test, so the kill
+    surfaces as this exception and is recorded as a ``worker-lost``
+    outcome, taking the same retry path.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault and its trial selector."""
+
+    kind: str
+    #: Trial selectors; ``"*"`` / ``None`` match anything.
+    victim: str = "*"
+    scheme: str = "*"
+    secret: Optional[int] = None
+    #: Machine cycle a ``deadlock``/``stall`` fault fires at.
+    at_cycle: int = 50
+    #: Wall-clock seconds a ``stall`` fault sleeps for.
+    stall_seconds: float = 0.0
+    #: The fault fires while ``attempt < max_attempts`` (attempts are
+    #: 0-indexed), so 1 means "first attempt only" — retries succeed.
+    max_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {', '.join(_KINDS)}"
+            )
+
+    def matches(self, spec, attempt: int) -> bool:
+        """Does this fault fire for ``spec`` on (0-indexed) ``attempt``?"""
+        return (
+            attempt < self.max_attempts
+            and self.victim in ("*", spec.victim)
+            and self.scheme in ("*", spec.scheme)
+            and (self.secret is None or self.secret == spec.secret)
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of faults; first match wins."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def fault_for(self, spec, attempt: int) -> Optional[FaultSpec]:
+        for fault in self.faults:
+            if fault.matches(spec, attempt):
+                return fault
+        return None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [asdict(f) for f in self.faults], sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_json(cls, raw: str) -> "FaultPlan":
+        return cls(faults=tuple(FaultSpec(**entry) for entry in json.loads(raw)))
+
+
+# ----------------------------------------------------------------------
+# active-plan registry (per process)
+# ----------------------------------------------------------------------
+_active_plan: Optional[FaultPlan] = None
+
+
+def install_plan(plan: FaultPlan) -> FaultPlan:
+    """Activate ``plan`` in this process and export it to descendants.
+
+    The plan is also written to :data:`FAULT_PLAN_ENV` so interpreter
+    processes spawned *after* this call pick it up on first use.  (Pool
+    workers forked *before* the call are reached explicitly: the
+    parallel runner ships the active plan alongside every chunk.)
+    """
+    global _active_plan
+    _active_plan = plan
+    os.environ[FAULT_PLAN_ENV] = plan.to_json()
+    return plan
+
+
+def clear_plan() -> None:
+    """Deactivate fault injection in this process (and the env export)."""
+    global _active_plan
+    _active_plan = None
+    os.environ.pop(FAULT_PLAN_ENV, None)
+
+
+def current_plan() -> Optional[FaultPlan]:
+    """The active plan: explicitly installed, or inherited via env."""
+    if _active_plan is not None:
+        return _active_plan
+    raw = os.environ.get(FAULT_PLAN_ENV)
+    if raw:
+        return FaultPlan.from_json(raw)
+    return None
+
+
+def _in_main_process() -> bool:
+    return multiprocessing.current_process().name == "MainProcess"
+
+
+def execute_process_fault(fault: FaultSpec, spec) -> None:
+    """Apply the process-level part of ``fault`` (the kinds that act on
+    the hosting process rather than inside the simulation)."""
+    if fault.kind == KIND_WORKER_KILL:
+        if _in_main_process():
+            raise WorkerKilled(f"injected worker kill for {spec.label()}")
+        os._exit(KILL_EXIT_CODE)
+    if fault.kind == KIND_ERROR:
+        raise ValueError(f"injected error for {spec.label()}")
+
+
+class FaultInjector:
+    """In-simulator fault source, installed on a Machine or Core.
+
+    Consulted once per cycle via :meth:`on_cycle` (machine) or
+    :meth:`on_core_cycle` (standalone core); fires the configured fault
+    deterministically at :attr:`FaultSpec.at_cycle`.
+    """
+
+    def __init__(self, fault: FaultSpec) -> None:
+        self.fault = fault
+        self._stalled = False
+
+    def on_cycle(self, machine) -> None:
+        self._fire(machine.cycle, getattr(machine, "trial_context", None))
+
+    def on_core_cycle(self, core) -> None:
+        self._fire(core.cycle, getattr(core, "trial_context", None))
+
+    def _fire(self, cycle: int, context: Optional[str]) -> None:
+        fault = self.fault
+        if fault.kind == KIND_DEADLOCK and cycle >= fault.at_cycle:
+            raise DeadlockError(
+                f"injected deadlock at cycle {cycle}",
+                cycle=cycle,
+                context=context,
+            )
+        if (
+            fault.kind == KIND_STALL
+            and not self._stalled
+            and cycle >= fault.at_cycle
+        ):
+            # One wall-clock stall per trial: long enough to blow the
+            # per-trial deadline, without altering simulated state.
+            self._stalled = True
+            time.sleep(fault.stall_seconds)
+
+
+def injector_for(fault: Optional[FaultSpec]) -> Optional[FaultInjector]:
+    """An injector for the in-simulation fault kinds, else ``None``."""
+    if fault is not None and fault.kind in (KIND_DEADLOCK, KIND_STALL):
+        return FaultInjector(fault)
+    return None

@@ -1,0 +1,176 @@
+"""Append-only JSONL checkpoint journal for sweeps.
+
+One line per finished trial, keyed by :meth:`TrialSpec.digest`.  A sweep
+given a journal skips every spec whose digest already has a record, so
+an interrupted sweep (ctrl-C, OOM-kill, power loss) resumes where it
+left off and the merged :class:`SweepResult` is identical to an
+uninterrupted run's.
+
+Robustness properties:
+
+* **Append-only, one line per record** — each record is written with a
+  single ``O_APPEND`` write, so concurrent pool workers can journal into
+  the same file without a lock.
+* **Tolerant loader** — a torn final line (the process died mid-write)
+  or any corrupt line is skipped, never fatal; the affected trial simply
+  re-runs.
+* **Last record wins** — re-recording a digest (e.g. a parent replaying
+  a chunk a worker already journaled) is harmless.
+* **Deterministic outcomes only** — ``ok``, ``deadlock`` and ``error``
+  outcomes are journaled; transient ``timeout`` / ``worker-lost``
+  outcomes are not, so a resumed sweep retries them instead of
+  resurrecting a stale failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.memory.hierarchy import AccessKind, VisibleAccess
+from repro.runner.spec import TrialOutcome, TrialStatus, TrialSummary
+
+#: Journal format version, embedded in every record.
+JOURNAL_VERSION = 1
+
+#: Statuses that are deterministic re-run outcomes and thus worth
+#: checkpointing.  Transient statuses re-run on resume.
+JOURNALED_STATUSES = frozenset(
+    {TrialStatus.OK, TrialStatus.DEADLOCK, TrialStatus.ERROR}
+)
+
+
+def summary_to_json(summary: TrialSummary) -> dict:
+    return {
+        "victim": summary.victim,
+        "scheme": summary.scheme,
+        "secret": summary.secret,
+        "seed": summary.seed,
+        "cycles": summary.cycles,
+        "access_cycle": [
+            [line, cycle] for line, cycle in sorted(summary.access_cycle.items())
+        ],
+        "visible": [
+            [a.cycle, a.line, a.kind.value, a.core, a.hit]
+            for a in summary.visible
+        ],
+        "retired": summary.retired,
+        "line_a": summary.line_a,
+        "line_b": summary.line_b,
+    }
+
+
+def summary_from_json(data: dict) -> TrialSummary:
+    return TrialSummary(
+        victim=data["victim"],
+        scheme=data["scheme"],
+        secret=data["secret"],
+        seed=data["seed"],
+        cycles=data["cycles"],
+        access_cycle={line: cycle for line, cycle in data["access_cycle"]},
+        visible=tuple(
+            VisibleAccess(
+                cycle=cycle,
+                line=line,
+                kind=AccessKind(kind),
+                core=core,
+                hit=bool(hit),
+            )
+            for cycle, line, kind, core, hit in data["visible"]
+        ),
+        retired=data["retired"],
+        line_a=data["line_a"],
+        line_b=data["line_b"],
+    )
+
+
+def outcome_to_json(outcome: TrialOutcome) -> dict:
+    return {
+        "v": JOURNAL_VERSION,
+        "digest": outcome.digest,
+        "victim": outcome.victim,
+        "scheme": outcome.scheme,
+        "secret": outcome.secret,
+        "seed": outcome.seed,
+        "status": outcome.status.value,
+        "attempts": outcome.attempts,
+        "summary": (
+            summary_to_json(outcome.summary) if outcome.summary is not None else None
+        ),
+        "error_type": outcome.error_type,
+        "error_message": outcome.error_message,
+        "cycle": outcome.cycle,
+    }
+
+
+def outcome_from_json(data: dict) -> TrialOutcome:
+    return TrialOutcome(
+        digest=data["digest"],
+        victim=data["victim"],
+        scheme=data["scheme"],
+        secret=data["secret"],
+        seed=data["seed"],
+        status=TrialStatus(data["status"]),
+        attempts=data["attempts"],
+        summary=(
+            summary_from_json(data["summary"])
+            if data.get("summary") is not None
+            else None
+        ),
+        error_type=data.get("error_type"),
+        error_message=data.get("error_message"),
+        cycle=data.get("cycle"),
+    )
+
+
+class TrialJournal:
+    """Digest-keyed, append-only JSONL record of finished trials."""
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+
+    # ------------------------------------------------------------------
+    def record(self, outcome: TrialOutcome) -> None:
+        """Append one outcome.  A single ``O_APPEND`` write, so records
+        from concurrent workers never interleave mid-line."""
+        line = json.dumps(
+            outcome_to_json(outcome), sort_keys=True, separators=(",", ":")
+        )
+        payload = (line + "\n").encode()
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
+
+    def should_record(self, outcome: TrialOutcome) -> bool:
+        return outcome.status in JOURNALED_STATUSES
+
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, TrialOutcome]:
+        """All journaled outcomes by digest; corrupt lines are skipped
+        (a torn final write just means that trial re-runs)."""
+        records: Dict[str, TrialOutcome] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except FileNotFoundError:
+            return records
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                outcome = outcome_from_json(data)
+            except (ValueError, KeyError, TypeError):
+                continue  # torn or corrupt line: re-run that trial
+            records[outcome.digest] = outcome
+        return records
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self.load()

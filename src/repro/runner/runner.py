@@ -1,26 +1,56 @@
-"""Serial and process-parallel sweep runners.
+"""Serial and process-parallel sweep runners with fault tolerance.
 
-Both runners expose the same two entry points:
+Both runners expose the same entry points:
 
 * :meth:`SweepRunner.run` — execute a list of :class:`TrialSpec`s and
   return a :class:`SweepResult` in spec order;
+* :meth:`SweepRunner.run_outcomes` — the same execution, returning the
+  raw per-trial :class:`TrialOutcome` list (one per spec, in order);
 * :meth:`SweepRunner.map` — order-preserving map of an arbitrary
   module-level function over items (used by the matrix/overhead
-  drivers, whose work units are not victim trials).
+  drivers, whose work units are not victim trials).  ``map`` is the
+  strict path: exceptions propagate.
+
+Fault tolerance (``run``/``run_outcomes`` only):
+
+* **Trial isolation** — a simulator fault (deadlock, cycle-budget
+  overrun, bad configuration) is captured as a structured failure
+  outcome; the sweep completes and reports it via
+  :attr:`SweepResult.failures`.  Strict all-or-nothing behaviour is
+  opt-in: ``runner.run(specs).raise_if_failed()``.
+* **Retry with backoff** — lost workers (crash, OOM-kill) and per-trial
+  wall-clock deadline overruns are retried up to ``max_retries`` times
+  with a capped exponential backoff between rounds; the spec's CRC32
+  seed travels with it, so a retried trial is bit-identical to a
+  first-attempt run.
+* **Checkpoint–resume** — pass a :class:`TrialJournal` and every
+  finished trial is recorded as it completes; a re-run over the same
+  specs skips journaled digests and merges their outcomes back in spec
+  order, making the resumed :class:`SweepResult` identical to an
+  uninterrupted one.
 
 The parallel runner submits *chunks* so small trials amortize IPC
 overhead, constructs every Machine/Core worker-side, and ships only
-picklable :class:`TrialSummary` objects back.
+picklable outcome objects back.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
-from repro.runner.spec import SweepResult, TrialSpec, TrialSummary
+from repro.pipeline.core import DeadlockError
+from repro.runner import faults
+from repro.runner.journal import TrialJournal
+from repro.runner.spec import (
+    SweepResult,
+    TrialOutcome,
+    TrialSpec,
+    TrialStatus,
+    TrialSummary,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -28,9 +58,26 @@ R = TypeVar("R")
 #: Environment override for the default worker count.
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
+#: Statuses the runners re-execute (transient, infrastructure-level).
+RETRYABLE_STATUSES = frozenset({TrialStatus.TIMEOUT, TrialStatus.WORKER_LOST})
 
-def run_trial_spec(spec: TrialSpec) -> TrialSummary:
-    """Execute one trial from its picklable description.
+#: Seconds the parallel runner sleeps between future polls.
+_POLL_INTERVAL = 0.05
+
+#: Grace added to every chunk deadline for pool spin-up and queueing.
+_SPINUP_GRACE = 1.0
+
+#: Base / cap for the capped exponential backoff between retry rounds.
+_BACKOFF_BASE = 0.1
+_BACKOFF_CAP = 2.0
+
+#: Sentinel distinguishing "no plan argument" from "explicitly no plan".
+_PLAN_UNSET = object()
+
+
+def run_trial_spec(spec: TrialSpec, *, fault_injector=None) -> TrialSummary:
+    """Execute one trial from its picklable description (strict path:
+    simulator faults propagate).
 
     Module-level (picklable by reference) and self-contained: builds the
     victim from the registry and the Machine/Core inside the calling
@@ -54,8 +101,14 @@ def run_trial_spec(spec: TrialSpec) -> TrialSummary:
         seed=spec.seed,
         max_cycles=spec.max_cycles,
         extra_lines=spec.extra_lines,
+        fault_injector=fault_injector,
     )
-    assert result.core is not None
+    if result.core is None:
+        # Explicit, not an assert: asserts vanish under ``python -O``
+        # and this invariant guards the summary below.
+        raise RuntimeError(
+            f"run_victim_trial returned no core handle for {spec.label()}"
+        )
     return TrialSummary(
         victim=spec.victim,
         scheme=result.scheme,
@@ -70,22 +123,127 @@ def run_trial_spec(spec: TrialSpec) -> TrialSummary:
     )
 
 
+def run_trial_outcome(
+    spec: TrialSpec, attempt: int = 0, plan=_PLAN_UNSET
+) -> TrialOutcome:
+    """Execute one trial with fault isolation: always returns a
+    structured :class:`TrialOutcome`, never raises a simulator fault.
+
+    ``attempt`` is the 0-indexed retry counter (it parameterizes fault
+    injection and is reported as ``attempts = attempt + 1``).  ``plan``
+    overrides the process-active :class:`~repro.runner.faults.FaultPlan`
+    (pass ``None`` to force fault-free execution).
+    """
+    if plan is _PLAN_UNSET:
+        plan = faults.current_plan()
+    fault = plan.fault_for(spec, attempt) if plan is not None else None
+    try:
+        if fault is not None:
+            faults.execute_process_fault(fault, spec)
+        summary = run_trial_spec(
+            spec, fault_injector=faults.injector_for(fault)
+        )
+        return TrialOutcome(
+            digest=spec.digest(),
+            victim=spec.victim,
+            scheme=spec.scheme,
+            secret=spec.secret,
+            seed=spec.seed,
+            status=TrialStatus.OK,
+            attempts=attempt + 1,
+            summary=summary,
+        )
+    except faults.WorkerKilled as exc:
+        return _failure_outcome(spec, TrialStatus.WORKER_LOST, exc, attempt)
+    except DeadlockError as exc:
+        # Covers forced deadlocks, starvation deadlocks (MSHR
+        # exhaustion and similar structural hangs) and cycle-budget
+        # overruns (CycleBudgetError); ``exc.cycle`` records how far
+        # the simulation got.
+        return _failure_outcome(
+            spec, TrialStatus.DEADLOCK, exc, attempt, cycle=exc.cycle
+        )
+    except KeyboardInterrupt:
+        raise  # the user's interrupt is not a trial fault
+    except Exception as exc:
+        return _failure_outcome(spec, TrialStatus.ERROR, exc, attempt)
+
+
+def _failure_outcome(
+    spec: TrialSpec,
+    status: TrialStatus,
+    exc: Optional[BaseException],
+    attempt: int,
+    *,
+    cycle: Optional[int] = None,
+) -> TrialOutcome:
+    return TrialOutcome(
+        digest=spec.digest(),
+        victim=spec.victim,
+        scheme=spec.scheme,
+        secret=spec.secret,
+        seed=spec.seed,
+        status=status,
+        attempts=attempt + 1,
+        error_type=type(exc).__name__ if exc is not None else None,
+        error_message=str(exc) if exc is not None else None,
+        cycle=cycle,
+    )
+
+
+def _run_chunk_outcomes(
+    tasks: List[Tuple[TrialSpec, int]],
+    journal_path: Optional[str],
+    plan_json: Optional[str],
+) -> List[TrialOutcome]:
+    """Pool-worker chunk body: run each (spec, attempt) with isolation,
+    journaling every deterministic outcome as it completes — so the
+    parent can recover a partially finished chunk if this worker dies."""
+    plan = faults.FaultPlan.from_json(plan_json) if plan_json else None
+    journal = TrialJournal(journal_path) if journal_path else None
+    outcomes = []
+    for spec, attempt in tasks:
+        outcome = run_trial_outcome(spec, attempt=attempt, plan=plan)
+        if journal is not None and journal.should_record(outcome):
+            journal.record(outcome)
+        outcomes.append(outcome)
+    return outcomes
+
+
 class SweepRunner:
     """Interface shared by the serial and parallel runners."""
 
     #: Worker processes this runner fans out to (1 = in-process).
     workers: int = 1
+    #: Re-runs allowed per trial on transient (timeout / worker-lost)
+    #: failures; the first execution is not a retry.
+    max_retries: int = 2
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         raise NotImplementedError
 
-    def run(self, specs: Sequence[TrialSpec]) -> SweepResult:
+    def run_outcomes(
+        self,
+        specs: Sequence[TrialSpec],
+        *,
+        journal: Optional[TrialJournal] = None,
+    ) -> List[TrialOutcome]:
+        raise NotImplementedError
+
+    def run(
+        self,
+        specs: Sequence[TrialSpec],
+        *,
+        journal: Optional[TrialJournal] = None,
+    ) -> SweepResult:
         start = time.perf_counter()
-        summaries = self.map(run_trial_spec, specs)
+        outcomes = self.run_outcomes(specs, journal=journal)
         return SweepResult(
-            summaries=summaries,
+            summaries=[o.summary for o in outcomes if o.ok],
             elapsed=time.perf_counter() - start,
             workers=self.workers,
+            failures=[o for o in outcomes if not o.ok],
+            outcomes=outcomes,
         )
 
     def close(self) -> None:
@@ -98,13 +256,72 @@ class SweepRunner:
         self.close()
 
 
+def _merge_journal(
+    specs: Sequence[TrialSpec],
+    outcomes: List[Optional[TrialOutcome]],
+    journal: Optional[TrialJournal],
+) -> None:
+    """Fill ``outcomes`` slots from journaled records (checkpoint skip)."""
+    if journal is None:
+        return
+    records = journal.load()
+    if not records:
+        return
+    for i, spec in enumerate(specs):
+        if outcomes[i] is None:
+            hit = records.get(spec.digest())
+            if hit is not None:
+                outcomes[i] = hit
+
+
+def _run_serial_outcomes(
+    specs: Sequence[TrialSpec],
+    journal: Optional[TrialJournal],
+    max_retries: int,
+) -> List[TrialOutcome]:
+    """Shared in-process execution loop: isolation + retry + journal."""
+    outcomes: List[Optional[TrialOutcome]] = [None] * len(specs)
+    _merge_journal(specs, outcomes, journal)
+    for i, spec in enumerate(specs):
+        if outcomes[i] is not None:
+            continue
+        attempt = 0
+        while True:
+            outcome = run_trial_outcome(spec, attempt=attempt)
+            if outcome.status not in RETRYABLE_STATUSES or attempt >= max_retries:
+                break
+            attempt += 1
+            time.sleep(min(_BACKOFF_CAP, _BACKOFF_BASE * (2 ** (attempt - 1))))
+        if journal is not None and journal.should_record(outcome):
+            journal.record(outcome)
+        outcomes[i] = outcome
+    return outcomes  # type: ignore[return-value]
+
+
 class SerialSweepRunner(SweepRunner):
-    """In-process reference runner (identical interface, zero fan-out)."""
+    """In-process reference runner (identical interface, zero fan-out).
+
+    Fault isolation, retry and checkpoint–resume behave exactly as in
+    the parallel runner, with two inherent differences: an injected
+    worker kill surfaces as a retryable ``worker-lost`` outcome instead
+    of killing the process, and wall-clock deadlines are not enforced
+    (there is no worker to replace)."""
 
     workers = 1
 
+    def __init__(self, *, max_retries: int = 2) -> None:
+        self.max_retries = max_retries
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         return [fn(item) for item in items]
+
+    def run_outcomes(
+        self,
+        specs: Sequence[TrialSpec],
+        *,
+        journal: Optional[TrialJournal] = None,
+    ) -> List[TrialOutcome]:
+        return _run_serial_outcomes(list(specs), journal, self.max_retries)
 
 
 class ParallelSweepRunner(SweepRunner):
@@ -113,12 +330,31 @@ class ParallelSweepRunner(SweepRunner):
     ``chunksize`` defaults to spreading the items roughly four chunks
     per worker — large enough to amortize pickling, small enough to
     load-balance uneven trials.  Results always come back in item order.
+
+    ``trial_timeout`` (seconds) arms a wall-clock deadline per submitted
+    chunk (``timeout * chunk_len`` plus grace).  A chunk that blows its
+    deadline gets its workers replaced — stuck pool workers cannot be
+    cancelled individually, so the pool is torn down and rebuilt — and
+    its unfinished specs resubmitted, at most ``max_retries`` times
+    each; in-flight chunks that die as collateral are resubmitted
+    without burning one of their retries.  Worker loss (a crashed or
+    OOM-killed worker breaks the whole pool) takes the same
+    replace-and-resubmit path.  With a journal attached, workers record
+    each finished trial immediately, so the retry round skips everything
+    the lost chunk already completed.
     """
 
     def __init__(
-        self, workers: Optional[int] = None, *, chunksize: Optional[int] = None
+        self,
+        workers: Optional[int] = None,
+        *,
+        chunksize: Optional[int] = None,
+        max_retries: int = 2,
+        trial_timeout: Optional[float] = None,
     ) -> None:
         self.workers = max(1, workers if workers is not None else default_workers())
+        self.max_retries = max_retries
+        self.trial_timeout = trial_timeout
         self._chunksize = chunksize
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -126,6 +362,18 @@ class ParallelSweepRunner(SweepRunner):
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
+
+    def _reset_pool(self) -> None:
+        """Tear down a broken/stuck pool, killing its workers."""
+        if self._pool is None:
+            return
+        # Stuck workers never drain the call queue, so shutdown() alone
+        # would block forever; terminate them first.
+        for proc in list(getattr(self._pool, "_processes", {}).values()):
+            if proc.is_alive():
+                proc.terminate()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
 
     def _chunk(self, n_items: int) -> int:
         if self._chunksize is not None:
@@ -141,6 +389,164 @@ class ParallelSweepRunner(SweepRunner):
         pool = self._ensure_pool()
         return list(pool.map(fn, items, chunksize=self._chunk(len(items))))
 
+    # ------------------------------------------------------------------
+    # fault-tolerant sweep execution
+    # ------------------------------------------------------------------
+    def run_outcomes(
+        self,
+        specs: Sequence[TrialSpec],
+        *,
+        journal: Optional[TrialJournal] = None,
+    ) -> List[TrialOutcome]:
+        specs = list(specs)
+        if self.workers == 1:
+            return _run_serial_outcomes(specs, journal, self.max_retries)
+        outcomes: List[Optional[TrialOutcome]] = [None] * len(specs)
+        attempts = [0] * len(specs)
+        # Status to report for a spec whose retries run out.
+        exhausted_status = [TrialStatus.WORKER_LOST] * len(specs)
+        _merge_journal(specs, outcomes, journal)
+        round_no = 0
+        while True:
+            todo = []
+            for i in range(len(specs)):
+                if outcomes[i] is not None:
+                    continue
+                if attempts[i] > self.max_retries:
+                    status = exhausted_status[i]
+                    outcomes[i] = TrialOutcome(
+                        digest=specs[i].digest(),
+                        victim=specs[i].victim,
+                        scheme=specs[i].scheme,
+                        secret=specs[i].secret,
+                        seed=specs[i].seed,
+                        status=status,
+                        attempts=attempts[i],
+                        error_type="RetriesExhausted",
+                        error_message=(
+                            f"gave up after {attempts[i]} attempt(s) "
+                            f"({status.value})"
+                        ),
+                    )
+                    continue
+                todo.append(i)
+            if not todo:
+                break
+            if round_no > 0:
+                # Capped exponential backoff between retry rounds: give
+                # a transiently sick host (OOM pressure, CPU squeeze)
+                # room to recover before re-fanning out.
+                time.sleep(
+                    min(_BACKOFF_CAP, _BACKOFF_BASE * (2 ** (round_no - 1)))
+                )
+            completed, lost, collateral = self._run_round(
+                specs, todo, attempts, journal
+            )
+            for i, outcome in completed.items():
+                outcomes[i] = outcome
+            for i, status in lost:
+                attempts[i] += 1
+                exhausted_status[i] = status
+            # Collateral of another chunk's fault is resubmitted without
+            # burning one of its own retries.
+            if lost or collateral:
+                round_no += 1
+                # Whatever the lost chunks had already journaled can be
+                # merged instead of re-run.
+                _merge_journal(specs, outcomes, journal)
+        return outcomes  # type: ignore[return-value]
+
+    def _run_round(
+        self,
+        specs: List[TrialSpec],
+        indices: List[int],
+        attempts: List[int],
+        journal: Optional[TrialJournal],
+    ) -> Tuple[
+        Dict[int, TrialOutcome],
+        List[Tuple[int, TrialStatus]],
+        List[int],
+    ]:
+        """Submit one round of chunks and harvest until done or the pool
+        fails.  Returns ``(completed, lost, collateral)``: ``lost`` pairs
+        a spec index with the failure status that charges one of its
+        retries; ``collateral`` indices resubmit free of charge."""
+        pool = self._ensure_pool()
+        plan = faults.current_plan()
+        plan_json = plan.to_json() if plan is not None else None
+        journal_path = journal.path if journal is not None else None
+        csize = self._chunk(len(indices))
+        futures: Dict = {}
+        for start in range(0, len(indices), csize):
+            chunk = indices[start : start + csize]
+            tasks = [(specs[i], attempts[i]) for i in chunk]
+            # The deadline clock starts at submit, so it must absorb
+            # worker spin-up and time spent queued behind other chunks
+            # — set trial_timeout with that headroom in mind.
+            deadline = (
+                time.monotonic()
+                + self.trial_timeout * len(chunk)
+                + _SPINUP_GRACE
+                if self.trial_timeout is not None
+                else None
+            )
+            fut = pool.submit(_run_chunk_outcomes, tasks, journal_path, plan_json)
+            futures[fut] = (chunk, deadline)
+
+        completed: Dict[int, TrialOutcome] = {}
+        lost: List[Tuple[int, TrialStatus]] = []
+        collateral: List[int] = []
+        while futures:
+            done, _ = wait(
+                list(futures), timeout=_POLL_INTERVAL, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for fut in done:
+                chunk, _ = futures.pop(fut)
+                try:
+                    for i, outcome in zip(chunk, fut.result()):
+                        completed[i] = outcome
+                except BrokenExecutor:
+                    # A worker died (crash, OOM-kill, injected kill):
+                    # the executor is broken and every in-flight chunk
+                    # with it.  We cannot attribute the death to one
+                    # spec, so the whole chunk retries.
+                    lost.extend((i, TrialStatus.WORKER_LOST) for i in chunk)
+                    broken = True
+                except Exception as exc:
+                    # The chunk body itself failed (e.g. an unpicklable
+                    # result): isolate as structured errors, no retry.
+                    for i in chunk:
+                        completed[i] = _failure_outcome(
+                            specs[i], TrialStatus.ERROR, exc, attempts[i]
+                        )
+            if broken:
+                for chunk, _ in futures.values():
+                    collateral.extend(chunk)
+                futures.clear()
+                self._reset_pool()
+                break
+            if futures and self.trial_timeout is not None:
+                now = time.monotonic()
+                expired = [
+                    fut
+                    for fut, (_, deadline) in futures.items()
+                    if deadline is not None and now >= deadline
+                ]
+                if expired:
+                    # Stuck workers cannot be cancelled individually;
+                    # replace the pool.  Expired chunks burn a retry,
+                    # the innocent in-flight rest is pure collateral.
+                    for fut in expired:
+                        chunk, _ = futures.pop(fut)
+                        lost.extend((i, TrialStatus.TIMEOUT) for i in chunk)
+                    for chunk, _ in futures.values():
+                        collateral.extend(chunk)
+                    futures.clear()
+                    self._reset_pool()
+                    break
+        return completed, lost, collateral
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
@@ -148,20 +554,42 @@ class ParallelSweepRunner(SweepRunner):
 
 
 def default_workers() -> int:
-    """Worker count from ``REPRO_SWEEP_WORKERS`` or the CPU count."""
+    """Worker count from ``REPRO_SWEEP_WORKERS`` or the CPU count.
+
+    A malformed override raises immediately with a clear message —
+    silently falling back to serial would quietly forfeit the machine.
+    """
     env = os.environ.get(WORKERS_ENV)
-    if env:
+    if env is not None and env.strip():
         try:
-            return max(1, int(env))
+            value = int(env)
         except ValueError:
-            pass
+            raise ValueError(
+                f"{WORKERS_ENV}={env!r} is not an integer; unset it or "
+                f"set a worker count like {WORKERS_ENV}=4"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"{WORKERS_ENV}={env!r} must be >= 1 (1 selects the "
+                f"serial runner)"
+            )
+        return value
     return os.cpu_count() or 1
 
 
-def make_runner(workers: Optional[int] = None) -> SweepRunner:
+def make_runner(
+    workers: Optional[int] = None,
+    *,
+    max_retries: int = 2,
+    trial_timeout: Optional[float] = None,
+) -> SweepRunner:
     """The sensible default: parallel when it can help, serial when a
-    pool would only add process overhead (single CPU, or workers=1)."""
+    pool would only add process overhead (single CPU, or workers=1).
+    ``max_retries`` / ``trial_timeout`` configure the fault-tolerant
+    ``run`` path (see :class:`ParallelSweepRunner`)."""
     resolved = workers if workers is not None else default_workers()
     if resolved <= 1:
-        return SerialSweepRunner()
-    return ParallelSweepRunner(resolved)
+        return SerialSweepRunner(max_retries=max_retries)
+    return ParallelSweepRunner(
+        resolved, max_retries=max_retries, trial_timeout=trial_timeout
+    )

@@ -9,6 +9,8 @@ under it) on their own side.
 
 from __future__ import annotations
 
+import enum
+import hashlib
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -36,6 +38,16 @@ class TrialSpec:
 
     def label(self) -> str:
         return f"{self.victim}/{self.scheme}/s{self.secret}"
+
+    def digest(self) -> str:
+        """Stable content digest of the spec, used as the journal key.
+
+        Built from the frozen-dataclass ``repr`` (fully deterministic for
+        the picklable field types a spec may hold) so the same trial
+        description hashes identically across processes and runs —
+        unlike ``hash()``, which is salted per process.
+        """
+        return hashlib.sha256(repr(self).encode()).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -76,13 +88,87 @@ class TrialSummary:
         return self.order(self.line_a, self.line_b)
 
 
+class TrialStatus(str, enum.Enum):
+    """How one trial ended.  ``str``-valued so it JSON-serializes and
+    compares against plain strings ('ok', 'deadlock', ...)."""
+
+    OK = "ok"
+    DEADLOCK = "deadlock"  # simulator deadlock or cycle-budget overrun
+    TIMEOUT = "timeout"  # per-trial wall-clock deadline exceeded
+    WORKER_LOST = "worker-lost"  # pool worker died (crash / injected kill)
+    ERROR = "error"  # any other exception from the simulator
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """Structured per-trial result: a summary on success, a structured
+    failure record otherwise — never a propagated exception.
+
+    ``digest`` is the :meth:`TrialSpec.digest` of the spec that produced
+    this outcome; the checkpoint journal keys records by it.
+    """
+
+    digest: str
+    victim: str
+    scheme: str
+    secret: int
+    seed: int
+    status: TrialStatus
+    #: How many executions this spec took (1 = first attempt succeeded).
+    attempts: int = 1
+    summary: Optional[TrialSummary] = None
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    #: Simulated cycle reached when the fault hit (when known).
+    cycle: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is TrialStatus.OK
+
+    def label(self) -> str:
+        return f"{self.victim}/{self.scheme}/s{self.secret}"
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"{self.label()}: ok ({self.attempts} attempt(s))"
+        where = f" at cycle {self.cycle}" if self.cycle is not None else ""
+        return (
+            f"{self.label()}: {self.status.value}{where} after "
+            f"{self.attempts} attempt(s) [{self.error_type}: "
+            f"{self.error_message}]"
+        )
+
+
+class SweepFailure(RuntimeError):
+    """Raised by :meth:`SweepResult.raise_if_failed` — strict, opt-in
+    all-or-nothing behaviour for drivers that cannot use partial sweeps."""
+
+    def __init__(self, failures: Sequence[TrialOutcome]) -> None:
+        self.failures = list(failures)
+        shown = "; ".join(f.describe() for f in self.failures[:5])
+        more = len(self.failures) - 5
+        if more > 0:
+            shown += f"; ... and {more} more"
+        super().__init__(f"{len(self.failures)} trial(s) failed: {shown}")
+
+
 @dataclass
 class SweepResult:
-    """Ordered trial summaries plus sweep-level bookkeeping."""
+    """Ordered trial summaries plus sweep-level bookkeeping.
+
+    ``summaries`` holds the *succeeded* trials in spec order; failed
+    trials appear (as structured :class:`TrialOutcome` records) in
+    ``failures``, and ``outcomes`` interleaves both in spec order.  A
+    fault-free sweep therefore looks exactly like it did before the
+    resilience layer: every spec contributes one summary.
+    """
 
     summaries: List[TrialSummary]
     elapsed: float
     workers: int
+    failures: List[TrialOutcome] = field(default_factory=list)
+    outcomes: List[TrialOutcome] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.summaries)
@@ -96,6 +182,20 @@ class SweepResult:
     @property
     def trials_per_second(self) -> float:
         return len(self.summaries) / self.elapsed if self.elapsed else 0.0
+
+    def succeeded(self) -> List[TrialSummary]:
+        """The summaries of every trial that completed, in spec order."""
+        return list(self.summaries)
+
+    def raise_if_failed(self) -> "SweepResult":
+        """Strict mode: raise :class:`SweepFailure` if any trial failed.
+
+        Returns ``self`` so drivers can chain
+        ``runner.run(specs).raise_if_failed()``.
+        """
+        if self.failures:
+            raise SweepFailure(self.failures)
+        return self
 
     def by_scheme(self) -> Dict[str, List[TrialSummary]]:
         grouped: Dict[str, List[TrialSummary]] = {}

@@ -9,7 +9,7 @@ from repro.isa.program import Program
 from repro.memory.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.pipeline.branch import BranchPredictor
 from repro.pipeline.config import CoreConfig
-from repro.pipeline.core import Core, DeadlockError
+from repro.pipeline.core import Core, CycleBudgetError, DeadlockError
 from repro.pipeline.scheme_api import SpeculationScheme
 
 
@@ -36,6 +36,13 @@ class Machine:
         self._cycle_hooks: List[Callable[[int], None]] = []
         self._scheduled: List[Tuple[int, int, Callable[[], None]]] = []
         self._schedule_counter = 0
+        #: Human-readable trial identity, baked into DeadlockErrors.
+        self.trial_context: Optional[str] = None
+        #: Optional deterministic fault source (repro.runner.faults),
+        #: consulted once per machine cycle when installed.  Installing
+        #: one disables idle fast-forwarding so a fault scheduled for
+        #: cycle N fires exactly at N.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     def attach(
@@ -84,6 +91,8 @@ class Machine:
     # ------------------------------------------------------------------
     def step(self) -> None:
         self.cycle += 1
+        if self.fault_injector is not None:
+            self.fault_injector.on_cycle(self)
         while self._scheduled and self._scheduled[0][0] <= self.cycle:
             _, _, action = heapq.heappop(self._scheduled)
             action()
@@ -122,8 +131,10 @@ class Machine:
             if until is None and self.cores and self.all_halted:
                 return self.cycle
             if self.cycle - start >= max_cycles:
-                raise DeadlockError(
-                    f"machine exceeded {max_cycles} cycles without finishing"
+                raise CycleBudgetError(
+                    f"machine exceeded {max_cycles} cycles without finishing",
+                    cycle=self.cycle,
+                    context=self.trial_context,
                 )
             if fast_forward:
                 target = self._fast_forward_target(start, max_cycles)
@@ -138,7 +149,7 @@ class Machine:
     def _fast_forward_target(self, start: int, max_cycles: int) -> Optional[int]:
         """Latest cycle all attached cores can jump to without missing
         an event, or None when the next cycle must be simulated."""
-        if self._cycle_hooks or not self.cores:
+        if self._cycle_hooks or self.fault_injector is not None or not self.cores:
             return None
         wake: Optional[int] = None
         for core in self.cores.values():

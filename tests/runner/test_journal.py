@@ -1,0 +1,139 @@
+"""Checkpoint-journal format guarantees.
+
+The journal must roundtrip a TrialOutcome *exactly* (frozen-dataclass
+equality, including every VisibleAccess in the summary): resume
+correctness rests on a journaled summary being indistinguishable from a
+freshly computed one.  It must also survive the ways an interrupted
+sweep can mangle the file — torn final lines, duplicates, junk.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import (
+    TrialJournal,
+    TrialOutcome,
+    TrialSpec,
+    TrialStatus,
+    run_trial_outcome,
+    run_trial_spec,
+)
+from repro.runner.journal import (
+    JOURNALED_STATUSES,
+    outcome_from_json,
+    outcome_to_json,
+)
+
+
+@pytest.fixture
+def ok_outcome():
+    return run_trial_outcome(
+        TrialSpec(victim="gdnpeu", scheme="dom-nontso", secret=1, seed=7),
+        plan=None,
+    )
+
+
+def make_failure(status=TrialStatus.DEADLOCK):
+    return TrialOutcome(
+        digest="abc123",
+        victim="gdnpeu",
+        scheme="dom-nontso",
+        secret=0,
+        seed=3,
+        status=status,
+        attempts=2,
+        error_type="DeadlockError",
+        error_message="injected deadlock at cycle 50",
+        cycle=50,
+    )
+
+
+def test_ok_outcome_json_roundtrip_is_exact(ok_outcome):
+    assert ok_outcome.ok and ok_outcome.summary is not None
+    restored = outcome_from_json(json.loads(json.dumps(outcome_to_json(ok_outcome))))
+    assert restored == ok_outcome
+    # The summary must be usable identically (ints stayed ints, enum
+    # kinds survived, line ordering semantics intact).
+    assert restored.summary.ab_order() == ok_outcome.summary.ab_order()
+    assert restored.summary.access_cycle == ok_outcome.summary.access_cycle
+
+
+def test_failure_outcome_json_roundtrip():
+    failure = make_failure()
+    restored = outcome_from_json(json.loads(json.dumps(outcome_to_json(failure))))
+    assert restored == failure
+    assert restored.status is TrialStatus.DEADLOCK
+
+
+def test_journal_record_and_load(tmp_path, ok_outcome):
+    journal = TrialJournal(tmp_path / "sweep.jsonl")
+    journal.record(ok_outcome)
+    journal.record(make_failure())
+    records = journal.load()
+    assert records[ok_outcome.digest] == ok_outcome
+    assert records["abc123"] == make_failure()
+    assert ok_outcome.digest in journal
+    assert len(journal) == 2
+
+
+def test_journal_last_record_wins(tmp_path, ok_outcome):
+    journal = TrialJournal(tmp_path / "sweep.jsonl")
+    first = make_failure()
+    journal.record(first)
+    # A replayed record for the same digest (attempt count differs).
+    second = TrialOutcome(
+        digest=first.digest,
+        victim=first.victim,
+        scheme=first.scheme,
+        secret=first.secret,
+        seed=first.seed,
+        status=first.status,
+        attempts=3,
+        error_type=first.error_type,
+        error_message=first.error_message,
+        cycle=first.cycle,
+    )
+    journal.record(second)
+    assert journal.load()[first.digest].attempts == 3
+
+
+def test_journal_tolerates_torn_and_corrupt_lines(tmp_path, ok_outcome):
+    path = tmp_path / "sweep.jsonl"
+    journal = TrialJournal(path)
+    journal.record(ok_outcome)
+    with open(path, "a") as fh:
+        fh.write("this is not json\n")
+        fh.write('{"v": 1, "digest": "missing-fields"}\n')
+        # A torn final line: the process died mid-write.
+        fh.write('{"v": 1, "digest": "torn", "victim": "gd')
+    records = journal.load()
+    assert list(records) == [ok_outcome.digest]
+
+
+def test_journal_missing_file_is_empty(tmp_path):
+    journal = TrialJournal(tmp_path / "never-written.jsonl")
+    assert journal.load() == {}
+    assert len(journal) == 0
+
+
+def test_transient_statuses_are_not_journaled():
+    assert TrialStatus.OK in JOURNALED_STATUSES
+    assert TrialStatus.DEADLOCK in JOURNALED_STATUSES
+    assert TrialStatus.ERROR in JOURNALED_STATUSES
+    # Transient infrastructure failures must re-run on resume.
+    assert TrialStatus.TIMEOUT not in JOURNALED_STATUSES
+    assert TrialStatus.WORKER_LOST not in JOURNALED_STATUSES
+
+
+def test_spec_digest_is_stable_and_discriminating():
+    a = TrialSpec(victim="gdnpeu", scheme="dom-nontso", secret=1, seed=7)
+    b = TrialSpec(victim="gdnpeu", scheme="dom-nontso", secret=1, seed=7)
+    c = TrialSpec(victim="gdnpeu", scheme="dom-nontso", secret=0, seed=7)
+    assert a.digest() == b.digest()
+    assert a.digest() != c.digest()
+    # Pinned: changing the digest scheme silently invalidates every
+    # existing journal, so it must be a deliberate decision.
+    assert a.digest() == TrialSpec(
+        victim="gdnpeu", scheme="dom-nontso", secret=1, seed=7
+    ).digest()
