@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Static gadget analysis demo: hand-rolled program for the analyzer.
+
+Builds a Spectre-style bounds-check gadget whose speculative body feeds
+a secret-derived value into the non-pipelined sqrt/div unit — the
+GD-NPEU pattern of §3.2.1 — and exposes it as ``PROGRAM`` /
+``SECRET_ADDRS`` / ``REGISTERS``, the contract
+``python -m repro.staticcheck`` expects from a file target.
+
+Run either way:
+
+    python examples/staticcheck_demo.py
+    python -m repro.staticcheck examples/staticcheck_demo.py
+"""
+
+from repro.core.victims import ADDR_SECRET
+from repro.isa.builder import ProgramBuilder
+from repro.pipeline.config import NONPIPELINED_PORT
+
+ADDR_LIMIT = 0x8000
+
+
+def build_program():
+    b = ProgramBuilder()
+    # if (i < limit)  — mistrained to predict taken when i >= limit.
+    b.load("limit", [], lambda: ADDR_LIMIT, name="load bound")
+    b.branch_if(["i", "limit"], lambda i, n: i < n, "body", name="bounds check")
+    b.jump("end")
+    b.label("body")
+    # Speculative body: secret load feeding the non-pipelined unit.
+    b.load("sec", [], lambda: ADDR_SECRET, name="load secret")
+    prev = "sec"
+    for k in range(6):
+        b.alu(
+            f"d{k}",
+            [prev],
+            lambda v: v + 1,
+            latency=15,
+            port=NONPIPELINED_PORT,
+            name=f"sqrtdiv {k}",
+        )
+        prev = f"d{k}"
+    b.label("end")
+    b.halt()
+    return b.build()
+
+
+PROGRAM = build_program()
+SECRET_ADDRS = (ADDR_SECRET,)
+REGISTERS = {"i": 100}
+
+
+def main():
+    from repro.staticcheck import analyze_program
+
+    report = analyze_program(
+        PROGRAM,
+        secret_addrs=SECRET_ADDRS,
+        registers=REGISTERS,
+        name="staticcheck-demo",
+    )
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -53,6 +53,9 @@ class TrialResult:
     #: cache state — neither picklable nor worth shipping).
     machine: Optional[Machine] = field(repr=False, default=None)
     core: Optional[Core] = field(repr=False, default=None)
+    #: The invariant sanitizer attached for this run (``sanitize=True``),
+    #: exposing its check counters; None otherwise.
+    sanitizer: Optional[object] = field(repr=False, default=None)
 
     def first_access(self, line: int) -> Optional[int]:
         return self.access_cycle.get(line)
@@ -138,6 +141,7 @@ def run_victim_trial(
     trace: bool = False,
     extra_lines: Sequence[int] = (),
     fault_injector=None,
+    sanitize: bool = False,
 ) -> TrialResult:
     """Run one prepared victim to completion and observe the LLC log.
 
@@ -147,6 +151,14 @@ def run_victim_trial(
     ``fault_injector`` (a :class:`repro.runner.faults.FaultInjector`) is
     installed on the machine for deterministic fault-injection tests; it
     disables idle fast-forwarding so injected faults land cycle-exactly.
+
+    ``sanitize`` attaches a
+    :class:`~repro.staticcheck.sanitizer.InvariantSanitizer` to the
+    victim core: every cycle is checked against the pipeline/scheme
+    invariants and the first violation raises
+    :class:`~repro.staticcheck.sanitizer.InvariantViolation`.  Like a
+    fault injector, the hook disables idle fast-forwarding, so sanitized
+    runs are slower but cycle-exact.
     """
     if secret not in (0, 1):
         raise ValueError("secret must be a bit")
@@ -158,6 +170,17 @@ def run_victim_trial(
         core_config=core_config,
         trace=trace,
     )
+    sanitizer = None
+    if sanitize:
+        # Imported lazily: repro.staticcheck's package init pulls in the
+        # cross-validation harness, which imports this module.
+        from repro.staticcheck.sanitizer import (
+            InvariantSanitizer,
+            compose_hooks,
+        )
+
+        sanitizer = InvariantSanitizer().attach(core)
+        fault_injector = compose_hooks(fault_injector, sanitizer)
     # Identity baked into any DeadlockError raised below, so a failed
     # trial deep inside a sweep is attributable from the record alone.
     context = (
@@ -203,4 +226,5 @@ def run_victim_trial(
         visible=window,
         machine=machine,
         core=core,
+        sanitizer=sanitizer,
     )

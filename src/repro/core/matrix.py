@@ -92,9 +92,18 @@ def _victim_for(gadget: str, ordering: str) -> Optional[VictimSpec]:
 
 def _monitored_line(spec: VictimSpec, ordering: str) -> int:
     if ordering in ("vd-vd", "vd-ad"):
-        assert spec.line_a is not None
+        if spec.line_a is None:
+            # Explicit, not an assert: survives ``python -O``.
+            raise ValueError(
+                f"victim {spec.name!r} defines no data line A for "
+                f"ordering {ordering!r}"
+            )
         return spec.line_a
-    assert spec.target_iline is not None
+    if spec.target_iline is None:
+        raise ValueError(
+            f"victim {spec.name!r} defines no target I-line for "
+            f"ordering {ordering!r}"
+        )
     return spec.target_iline
 
 

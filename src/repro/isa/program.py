@@ -41,11 +41,29 @@ class Program:
         for label, slot in self.labels.items():
             if not 0 <= slot <= len(self.instructions):
                 raise ValueError(f"label {label!r} out of range: {slot}")
+        written = {
+            inst.dst
+            for inst in self.instructions
+            if inst.dst is not None and inst.opclass is not OpClass.STORE
+        }
         for idx, inst in enumerate(self.instructions):
             if inst.opclass is OpClass.BRANCH and inst.target not in self.labels:
                 raise ValueError(
                     f"branch at slot {idx} targets unknown label {inst.target!r}"
                 )
+            if inst.opclass is OpClass.STORE:
+                # Catch a dangling store at build time: a value_src no
+                # instruction writes would silently store the rename
+                # default (0) at run time.
+                if inst.value_src is None:
+                    raise ValueError(
+                        f"store at slot {idx} has no value_src"
+                    )
+                if inst.value_src not in written:
+                    raise ValueError(
+                        f"store at slot {idx} reads value_src "
+                        f"{inst.value_src!r}, which no instruction writes"
+                    )
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -423,7 +423,12 @@ class Core:
             head.mark("retire", self.cycle)
             self._last_progress_cycle = self.cycle
             if head.is_store:
-                assert head.addr is not None
+                if head.addr is None:
+                    # Explicit, not an assert: survives ``python -O``.
+                    raise RuntimeError(
+                        f"store #{head.seq} reached retire without an "
+                        "address"
+                    )
                 self.hierarchy.write(
                     self.core_id, head.addr, head.value or 0, cycle=self.cycle
                 )
@@ -472,7 +477,10 @@ class Core:
     def _resolve_branch(self, branch: DynInstr) -> None:
         branch.resolved = True
         self.stats.branches += 1
-        assert branch.actual_taken is not None
+        if branch.actual_taken is None:
+            raise RuntimeError(
+                f"branch #{branch.seq} resolved without an outcome"
+            )
         if not branch.static.unconditional:
             self.predictor.update(branch.slot, branch.actual_taken)
         if branch.mispredicted():

@@ -88,7 +88,11 @@ class LoadStoreUnit:
     # ------------------------------------------------------------------
     def submit(self, core: "Core", load: DynInstr, cycle: int) -> None:
         """A load issued: its address is computed; try to execute it."""
-        assert load.addr is not None
+        if load.addr is None:
+            # Explicit, not an assert: survives ``python -O``.
+            raise RuntimeError(
+                f"load #{load.seq} submitted to the LSU without an address"
+            )
         self._try_start(core, load, cycle)
 
     def _try_start(self, core: "Core", load: DynInstr, cycle: int) -> None:
@@ -253,7 +257,10 @@ class LoadStoreUnit:
         # none is available.
         if decision not in (LoadDecision.VISIBLE, LoadDecision.INVISIBLE):
             return False
-        assert load.addr is not None
+        if load.addr is None:
+            raise RuntimeError(
+                f"parked load #{load.seq} has no address"
+            )
         if self.hierarchy.l1_hit(self.core_id, load.addr):
             return False
         line = self.hierarchy.llc.layout.line_addr(load.addr)

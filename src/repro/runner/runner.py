@@ -102,6 +102,7 @@ def run_trial_spec(spec: TrialSpec, *, fault_injector=None) -> TrialSummary:
         max_cycles=spec.max_cycles,
         extra_lines=spec.extra_lines,
         fault_injector=fault_injector,
+        sanitize=spec.sanitize,
     )
     if result.core is None:
         # Explicit, not an assert: asserts vanish under ``python -O``

@@ -35,6 +35,11 @@ class TrialSpec:
     extra_lines: Tuple[int, ...] = ()
     max_cycles: int = 20_000
     hierarchy_config: Optional[HierarchyConfig] = None
+    #: Run the trial under the cycle-level invariant sanitizer
+    #: (:mod:`repro.staticcheck.sanitizer`).  Slower (no idle
+    #: fast-forward) but any pipeline/scheme invariant breakage fails
+    #: the trial instead of corrupting its measurements.
+    sanitize: bool = False
 
     def label(self) -> str:
         return f"{self.victim}/{self.scheme}/s{self.secret}"

@@ -38,7 +38,12 @@ class CleanupSpec(SpeculationScheme):
 
     def load_decision(self, core: "Core", load: DynInstr, safe: bool) -> LoadDecision:
         if not safe:
-            assert load.addr is not None
+            if load.addr is None:
+                # Explicit, not an assert: survives ``python -O``.
+                raise RuntimeError(
+                    f"load #{load.seq} reached load_decision without an "
+                    "address"
+                )
             line = core.hierarchy.llc.layout.line_addr(load.addr)
             if not core.hierarchy.llc.contains(line):
                 # This visible access will fill the LLC: log for undo.

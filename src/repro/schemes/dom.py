@@ -69,7 +69,11 @@ class DelayOnMiss(SpeculationScheme):
     def load_decision(self, core: "Core", load: DynInstr, safe: bool) -> LoadDecision:
         if safe:
             return LoadDecision.VISIBLE
-        assert load.addr is not None
+        if load.addr is None:
+            # Explicit, not an assert: survives ``python -O``.
+            raise RuntimeError(
+                f"load #{load.seq} reached load_decision without an address"
+            )
         if core.hierarchy.l1_hit(core.core_id, load.addr, AccessKind.DATA):
             self.invisible_hits += 1
             self._deferred_touch[(core.core_id, load.seq)] = load.addr

@@ -55,7 +55,11 @@ class MuonTrap(SpeculationScheme):
     def load_decision(self, core: "Core", load: DynInstr, safe: bool) -> LoadDecision:
         if safe:
             return LoadDecision.VISIBLE
-        assert load.addr is not None
+        if load.addr is None:
+            # Explicit, not an assert: survives ``python -O``.
+            raise RuntimeError(
+                f"load #{load.seq} reached load_decision without an address"
+            )
         filt = self.filter_for(core.core_id)
         if filt.access(load.addr):
             self.filter_hits += 1

@@ -53,7 +53,11 @@ class SafeSpec(SpeculationScheme):
     def load_decision(self, core: "Core", load: DynInstr, safe: bool) -> LoadDecision:
         if safe:
             return LoadDecision.VISIBLE
-        assert load.addr is not None
+        if load.addr is None:
+            # Explicit, not an assert: survives ``python -O``.
+            raise RuntimeError(
+                f"load #{load.seq} reached load_decision without an address"
+            )
         line = core.hierarchy.llc.layout.line_addr(load.addr)
         shadow = self._core_shadow(core.core_id)
         if line in shadow:

@@ -1,0 +1,99 @@
+"""Static interference-gadget analysis over :mod:`repro.isa` programs.
+
+The simulator finds interference gadgets *dynamically*: build a victim,
+run it twice, diff the visible-access log.  This package finds the same
+gadget families *statically*, from instruction semantics alone — the
+characterization InSpectre (Guanciale et al.) and "It's a Trap!"
+(Aimoniotis et al.) argue is possible — and closes the loop both ways:
+
+* :func:`analyze_program` / :func:`analyze_victim` — CFG construction
+  (:mod:`~repro.staticcheck.cfg`), taint dataflow seeded at secret loads
+  (:mod:`~repro.staticcheck.dataflow`), per-instruction resource
+  summaries (:mod:`~repro.staticcheck.resources`), and the gadget
+  detectors (:mod:`~repro.staticcheck.detectors`) for GD-NPEU, GD-MSHR,
+  G-IRS and forward interference.
+* :func:`cross_validate` — replays static findings through the
+  simulator; a finding must coincide with a dynamic interference signal.
+* :class:`InvariantSanitizer` — the complementary *runtime* checker: an
+  opt-in per-cycle hook (reusing the ``FaultInjector`` hook points) that
+  validates pipeline invariants and scheme ``peek_*`` agreement, so
+  fast-forward and scheme bugs surface at the violating cycle.
+* :func:`prefilter_specs` — a cheap sweep pre-filter: specs whose victim
+  the analyzer proves gadget-free can skip simulation.
+
+CLI: ``python -m repro.staticcheck`` (see ``--help``).
+"""
+
+from repro.staticcheck.analyzer import (
+    AnalysisConfig,
+    analyze_program,
+    analyze_victim,
+)
+from repro.staticcheck.cfg import (
+    EDGE_FALLTHROUGH,
+    EDGE_TAKEN,
+    ControlFlowGraph,
+    SpeculativeWindow,
+    speculative_windows,
+)
+from repro.staticcheck.crossval import (
+    CrossValidation,
+    Signal,
+    cross_validate,
+    dynamic_signals,
+)
+from repro.staticcheck.dataflow import AbsValue, SlotFacts, TaintAnalysis, TaintPolicy
+from repro.staticcheck.detectors import DetectorConfig, detect_gadgets
+from repro.staticcheck.prefilter import PrefilterResult, prefilter_specs
+from repro.staticcheck.report import (
+    FAMILIES,
+    FAMILY_FORWARD,
+    FAMILY_GDMSHR,
+    FAMILY_GDNPEU,
+    FAMILY_GIRS,
+    AnalysisReport,
+    Finding,
+    Severity,
+)
+from repro.staticcheck.resources import ResourceSummary, summarize_resources
+from repro.staticcheck.sanitizer import (
+    InvariantSanitizer,
+    InvariantViolation,
+    compose_hooks,
+)
+
+__all__ = [
+    "AbsValue",
+    "AnalysisConfig",
+    "AnalysisReport",
+    "ControlFlowGraph",
+    "CrossValidation",
+    "DetectorConfig",
+    "EDGE_FALLTHROUGH",
+    "EDGE_TAKEN",
+    "FAMILIES",
+    "FAMILY_FORWARD",
+    "FAMILY_GDMSHR",
+    "FAMILY_GDNPEU",
+    "FAMILY_GIRS",
+    "Finding",
+    "InvariantSanitizer",
+    "InvariantViolation",
+    "PrefilterResult",
+    "ResourceSummary",
+    "Severity",
+    "Signal",
+    "SlotFacts",
+    "SpeculativeWindow",
+    "TaintAnalysis",
+    "TaintPolicy",
+    "analyze_program",
+    "analyze_victim",
+    "compose_hooks",
+    "cross_validate",
+    "detect_gadgets",
+    "dynamic_signals",
+    "prefilter_specs",
+    "speculative_windows",
+    "summarize_resources",
+]

@@ -1,0 +1,180 @@
+"""``python -m repro.staticcheck`` — the analyzer's command line.
+
+Targets are built-in victim registry names (``gdnpeu``, ``gdmshr``,
+``girs``, ...) and/or paths to Python files.  A file target is executed
+and must expose one of:
+
+* ``VICTIM`` — a :class:`~repro.core.victims.VictimSpec`, or
+* ``PROGRAM`` — a :class:`~repro.isa.program.Program`, optionally with
+  ``SECRET_ADDRS`` (addresses seeding taint) and ``REGISTERS``.
+
+With no targets, every built-in victim is analyzed.  Exit status: 0 on
+success, 1 when ``--fail-on-findings`` is given and anything was found
+or a ``--require-family`` is missing or a cross-validation failed, 2 on
+bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import runpy
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.victims import VICTIM_FACTORIES, VictimSpec, victim_by_name
+from repro.isa.program import Program
+from repro.staticcheck.analyzer import analyze_program, analyze_victim
+from repro.staticcheck.crossval import cross_validate
+from repro.staticcheck.report import FAMILIES, AnalysisReport
+
+
+def _usage_error(message: str) -> "SystemExit":
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _load_file_target(path: Path) -> Tuple[AnalysisReport, Optional[VictimSpec]]:
+    namespace = runpy.run_path(str(path))
+    victim = namespace.get("VICTIM")
+    if victim is not None:
+        if not isinstance(victim, VictimSpec):
+            raise _usage_error(f"{path}: VICTIM is not a VictimSpec")
+        return analyze_victim(victim), victim
+    program = namespace.get("PROGRAM")
+    if program is None:
+        raise _usage_error(
+            f"{path}: file targets must define VICTIM (a VictimSpec) or "
+            "PROGRAM (a Program)"
+        )
+    if not isinstance(program, Program):
+        raise _usage_error(f"{path}: PROGRAM is not a Program")
+    secret_addrs = tuple(namespace.get("SECRET_ADDRS", ()))
+    registers = dict(namespace.get("REGISTERS", {}))
+    report = analyze_program(
+        program,
+        secret_addrs=secret_addrs,
+        registers=registers,
+        name=path.stem,
+    )
+    return report, None
+
+
+def _resolve_targets(
+    targets: Sequence[str],
+) -> List[Tuple[AnalysisReport, Optional[VictimSpec]]]:
+    resolved: List[Tuple[AnalysisReport, Optional[VictimSpec]]] = []
+    for target in targets:
+        if target in VICTIM_FACTORIES:
+            victim = victim_by_name(target)
+            resolved.append((analyze_victim(victim), victim))
+            continue
+        path = Path(target)
+        if path.suffix == ".py" and path.exists():
+            resolved.append(_load_file_target(path))
+            continue
+        known = ", ".join(sorted(VICTIM_FACTORIES))
+        raise _usage_error(
+            f"unknown target {target!r}: not a victim name ({known}) and "
+            "not an existing .py file"
+        )
+    return resolved
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description=(
+            "Static interference-gadget analyzer: GD-NPEU, GD-MSHR, G-IRS "
+            "and forward-interference detection over repro.isa programs."
+        ),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help=(
+            "victim registry names and/or .py files exposing VICTIM or "
+            "PROGRAM (default: all built-in victims)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document instead of the human report",
+    )
+    parser.add_argument(
+        "--cross-validate",
+        action="store_true",
+        help=(
+            "replay each victim through the simulator and require every "
+            "finding to coincide with a dynamic interference signal"
+        ),
+    )
+    parser.add_argument(
+        "--scheme",
+        default="unsafe",
+        help="speculation scheme used by --cross-validate (default: unsafe)",
+    )
+    parser.add_argument(
+        "--require-family",
+        action="append",
+        default=[],
+        choices=sorted(FAMILIES),
+        metavar="FAMILY",
+        help=(
+            "fail (exit 1) unless this family is found in at least one "
+            "target; repeatable"
+        ),
+    )
+    parser.add_argument(
+        "--fail-on-findings",
+        action="store_true",
+        help="exit 1 if any finding is reported (gate for clean programs)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    targets = list(args.targets) or sorted(VICTIM_FACTORIES)
+    resolved = _resolve_targets(targets)
+
+    unconfirmed: List[str] = []
+    for report, victim in resolved:
+        if args.cross_validate and victim is not None and report.findings:
+            verdict = cross_validate(victim, report, scheme=args.scheme)
+            if not verdict.all_confirmed:
+                unconfirmed.append(report.name)
+
+    reports = [report for report, _ in resolved]
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        print("\n\n".join(r.render() for r in reports))
+
+    status = 0
+    found_families = {f for r in reports for f in r.families()}
+    for family in args.require_family:
+        if family not in found_families:
+            print(
+                f"error: required family {family!r} not found in any target",
+                file=sys.stderr,
+            )
+            status = 1
+    if unconfirmed:
+        print(
+            "error: findings not confirmed dynamically in: "
+            + ", ".join(unconfirmed),
+            file=sys.stderr,
+        )
+        status = 1
+    if args.fail_on_findings and any(r.findings for r in reports):
+        total = sum(len(r.findings) for r in reports)
+        print(f"error: {total} finding(s) reported", file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

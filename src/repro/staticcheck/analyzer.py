@@ -1,0 +1,101 @@
+"""Top-level orchestration: program/victim -> :class:`AnalysisReport`.
+
+``analyze_program`` wires the passes together (CFG -> windows -> taint
+-> resources -> detectors); ``analyze_victim`` derives the analysis
+configuration from a :class:`~repro.core.victims.VictimSpec` the same
+way the dynamic harness does (the victim's core config, the attack
+hierarchy's MSHR capacity, the spec's secret address and initial
+registers), so static and dynamic results are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.victims import ATTACK_HIERARCHY, VictimSpec
+from repro.isa.program import Program
+from repro.pipeline.config import CoreConfig
+from repro.staticcheck.cfg import ControlFlowGraph, speculative_windows
+from repro.staticcheck.dataflow import SlotFacts, TaintAnalysis, TaintPolicy
+from repro.staticcheck.detectors import DetectorConfig, detect_gadgets
+from repro.staticcheck.report import AnalysisReport
+from repro.staticcheck.resources import summarize_resources
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Everything the static passes need besides the program itself."""
+
+    secret_addrs: tuple
+    core_config: CoreConfig
+    mshr_capacity: int
+    line_size: int = 64
+
+    def detector_config(self) -> DetectorConfig:
+        return DetectorConfig(
+            rob_size=self.core_config.rob_size,
+            rs_size=self.core_config.rs_size,
+            mshr_capacity=self.mshr_capacity,
+        )
+
+
+def analyze_program(
+    program: Program,
+    *,
+    secret_addrs: Sequence[int],
+    core_config: Optional[CoreConfig] = None,
+    mshr_capacity: Optional[int] = None,
+    registers: Optional[Mapping[str, int]] = None,
+    name: str = "program",
+) -> AnalysisReport:
+    """Run the full static pipeline over ``program``.
+
+    ``secret_addrs`` seeds the taint analysis (loads touching these
+    lines produce tainted values); ``registers`` provides known-constant
+    initial register state, exactly as the harness would install it.
+    """
+    config = AnalysisConfig(
+        secret_addrs=tuple(secret_addrs),
+        core_config=core_config or CoreConfig(),
+        mshr_capacity=(
+            mshr_capacity
+            if mshr_capacity is not None
+            else ATTACK_HIERARCHY.l1d_mshrs
+        ),
+    )
+    cfg = ControlFlowGraph(program)
+    windows = speculative_windows(cfg, config.core_config.rob_size)
+    policy = TaintPolicy(
+        secret_addrs=config.secret_addrs, line_size=config.line_size
+    )
+    facts: Dict[int, SlotFacts] = TaintAnalysis(
+        program, policy, registers=registers, cfg=cfg
+    ).run()
+    resources = summarize_resources(program, config.core_config)
+    findings = detect_gadgets(windows, facts, resources, config.detector_config())
+    return AnalysisReport(
+        name=name,
+        instructions=len(program),
+        windows=len(windows),
+        findings=findings,
+        config=dict(config.detector_config().as_dict()),
+    )
+
+
+def analyze_victim(
+    spec: VictimSpec,
+    *,
+    mshr_capacity: Optional[int] = None,
+    core_config: Optional[CoreConfig] = None,
+) -> AnalysisReport:
+    """Analyze a built victim under the same configuration the dynamic
+    harness would run it with."""
+    return analyze_program(
+        spec.program,
+        secret_addrs=(spec.secret_addr,),
+        core_config=core_config or spec.core_config or CoreConfig(),
+        mshr_capacity=mshr_capacity,
+        registers=spec.registers,
+        name=spec.name,
+    )

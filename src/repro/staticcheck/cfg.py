@@ -1,0 +1,139 @@
+"""Control-flow graph and speculative-window expansion for programs.
+
+A :class:`~repro.isa.program.Program` is a flat slot array with labels;
+control flow is fallthrough plus resolved branch targets, so the CFG is
+fully static.  The interesting derived object is the *speculative
+window*: for every conditional (mispredictable) branch and each of its
+two directions, the set of instructions the frontend can fetch down that
+direction before the branch resolves — bounded by the ROB capacity,
+which is the architectural limit on how much mis-speculated work can be
+in flight (§3.1 of the paper).  Gadget detectors only ever look inside
+these windows: interference caused by bound-to-retire instructions is
+ordinary contention, not a speculative side channel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Set, Tuple
+
+from repro.isa.instructions import OpClass
+from repro.isa.program import Program
+
+#: Edge kinds (``direction`` of a window uses the same vocabulary).
+EDGE_FALLTHROUGH = "fallthrough"
+EDGE_TAKEN = "taken"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One CFG edge between instruction slots."""
+
+    src: int
+    dst: int
+    kind: str
+
+
+@dataclass(frozen=True)
+class SpeculativeWindow:
+    """Instructions reachable down one direction of a conditional branch.
+
+    ``slots`` is in BFS fetch order from ``entry_slot`` and never longer
+    than the ROB capacity used to expand the window; ``truncated`` marks
+    windows clipped by that bound (the program continues beyond it).
+    """
+
+    branch_slot: int
+    direction: str
+    entry_slot: int
+    slots: Tuple[int, ...]
+    truncated: bool
+
+    def __contains__(self, slot: int) -> bool:
+        return slot in self.slots
+
+
+class ControlFlowGraph:
+    """Static CFG over a program's instruction slots."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._successors: Dict[int, Tuple[Edge, ...]] = {}
+        for slot in range(len(program)):
+            self._successors[slot] = tuple(self._edges_from(slot))
+
+    def _edges_from(self, slot: int) -> List[Edge]:
+        inst = self.program.at(slot)
+        if inst.opclass is OpClass.HALT:
+            return []
+        if inst.opclass is OpClass.BRANCH:
+            edges = [Edge(slot, self.program.branch_target_slot(slot), EDGE_TAKEN)]
+            if not inst.unconditional and slot + 1 < len(self.program):
+                edges.append(Edge(slot, slot + 1, EDGE_FALLTHROUGH))
+            return edges
+        if slot + 1 < len(self.program):
+            return [Edge(slot, slot + 1, EDGE_FALLTHROUGH)]
+        return []
+
+    def successors(self, slot: int) -> Tuple[Edge, ...]:
+        return self._successors[slot]
+
+    def conditional_branches(self) -> List[int]:
+        """Slots holding mispredictable (conditional) branches."""
+        return [
+            slot
+            for slot in range(len(self.program))
+            if self.program.at(slot).opclass is OpClass.BRANCH
+            and not self.program.at(slot).unconditional
+        ]
+
+    def reachable_from(self, entry: int, limit: int) -> Tuple[Tuple[int, ...], bool]:
+        """Slots reachable from ``entry`` (inclusive) in BFS fetch order,
+        capped at ``limit`` instructions.  Returns ``(slots, truncated)``."""
+        if limit < 1:
+            raise ValueError("window limit must be >= 1 instruction")
+        seen: Set[int] = set()
+        order: List[int] = []
+        queue: Deque[int] = deque([entry])
+        truncated = False
+        while queue:
+            slot = queue.popleft()
+            if slot in seen:
+                continue
+            if len(order) >= limit:
+                truncated = True
+                break
+            seen.add(slot)
+            order.append(slot)
+            for edge in self.successors(slot):
+                if edge.dst not in seen:
+                    queue.append(edge.dst)
+        return tuple(order), truncated
+
+
+def speculative_windows(
+    cfg: ControlFlowGraph, rob_size: int
+) -> List[SpeculativeWindow]:
+    """Both directions of every conditional branch, expanded to at most
+    ``rob_size`` instructions each.
+
+    The expansion follows *all* outgoing edges of nested conditional
+    branches (the predictor's nested direction is unknown statically), so
+    a window over-approximates any single transient execution — the right
+    polarity for a may-interfere analysis.
+    """
+    windows: List[SpeculativeWindow] = []
+    for branch_slot in cfg.conditional_branches():
+        for edge in cfg.successors(branch_slot):
+            slots, truncated = cfg.reachable_from(edge.dst, rob_size)
+            windows.append(
+                SpeculativeWindow(
+                    branch_slot=branch_slot,
+                    direction=edge.kind,
+                    entry_slot=edge.dst,
+                    slots=slots,
+                    truncated=truncated,
+                )
+            )
+    return windows

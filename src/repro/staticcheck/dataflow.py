@@ -1,0 +1,214 @@
+"""Taint/constant dataflow over the CFG.
+
+A forward may-analysis on the abstract domain ``(taint, const)``:
+
+* ``taint`` — the value *may* be derived from secret data.  Taint enters
+  at loads whose effective address lies in a secret-reachable region (or
+  is itself tainted — a transmitter), and propagates through ``srcs`` ->
+  ``compute`` -> ``dst`` and through a STORE's ``value_src``.
+* ``const`` — the concrete value when it is the same along every path
+  and computable by evaluating the instruction's pure ``compute``
+  callable on constant operands.  Constants are what let the analysis
+  resolve effective addresses (``lambda: ADDR_SECRET`` and friends) and
+  hence decide which loads touch the secret region.
+
+The memory abstraction is deliberately coarse: a load from a non-secret
+address yields an unknown, untainted value, and stores do not taint
+memory (no alias analysis).  That is sound for the gadget families here
+— they leak through *resource usage* of register-carried taint, not
+through tainted memory round-trips — and keeps the fixpoint tiny.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
+
+from repro.isa.instructions import Instruction, OpClass
+from repro.isa.program import Program
+from repro.staticcheck.cfg import ControlFlowGraph
+
+#: Fixpoint safety valve: |slots| * |regs| bounds the lattice height, so
+#: any well-formed program converges far below this.
+MAX_ITERATIONS = 100_000
+
+
+@dataclass(frozen=True)
+class AbsValue:
+    """One abstract register value: may-tainted, optionally constant."""
+
+    taint: bool = False
+    const: Optional[int] = None
+
+    def join(self, other: "AbsValue") -> "AbsValue":
+        return AbsValue(
+            taint=self.taint or other.taint,
+            const=self.const if self.const == other.const else None,
+        )
+
+
+UNKNOWN = AbsValue()
+TAINTED = AbsValue(taint=True)
+
+
+@dataclass(frozen=True)
+class TaintPolicy:
+    """What the analysis treats as secret-reachable memory."""
+
+    secret_addrs: Tuple[int, ...]
+    line_size: int = 64
+
+    def is_secret(self, addr: int) -> bool:
+        line = addr & ~(self.line_size - 1)
+        return any(
+            (secret & ~(self.line_size - 1)) == line for secret in self.secret_addrs
+        )
+
+
+@dataclass
+class SlotFacts:
+    """Per-slot results, joined over every abstract path reaching it."""
+
+    slot: int
+    #: Any source operand (incl. a STORE's value operand) may be tainted.
+    operand_taint: bool = False
+    #: LOAD/STORE effective address when constant along all paths.
+    address: Optional[int] = None
+    #: The effective address itself may be tainted (a transmitter).
+    address_taint: bool = False
+    #: LOAD whose address resolves into the secret region (taint source).
+    secret_load: bool = False
+    #: Abstract value produced into ``dst`` (ALU/LOAD).
+    result: AbsValue = UNKNOWN
+    #: The slot was reached by the analysis at all.
+    reachable: bool = False
+
+
+Env = Dict[str, AbsValue]
+
+
+def _join_env(into: Env, other: Env) -> bool:
+    """Join ``other`` into ``into``; True when ``into`` changed."""
+    changed = False
+    for reg, val in other.items():
+        old = into.get(reg)
+        new = val if old is None else old.join(val)
+        if new != old:
+            into[reg] = new
+            changed = True
+    return changed
+
+
+class TaintAnalysis:
+    """Worklist dataflow; :meth:`run` returns per-slot :class:`SlotFacts`."""
+
+    def __init__(
+        self,
+        program: Program,
+        policy: TaintPolicy,
+        *,
+        registers: Optional[Mapping[str, int]] = None,
+        cfg: Optional[ControlFlowGraph] = None,
+    ) -> None:
+        self.program = program
+        self.policy = policy
+        self.cfg = cfg or ControlFlowGraph(program)
+        self._entry_env: Env = {
+            reg: AbsValue(const=value) for reg, value in (registers or {}).items()
+        }
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[int, SlotFacts]:
+        facts: Dict[int, SlotFacts] = {
+            slot: SlotFacts(slot=slot) for slot in range(len(self.program))
+        }
+        if not len(self.program):
+            return facts
+        in_envs: Dict[int, Env] = {0: dict(self._entry_env)}
+        worklist: Deque[int] = deque([0])
+        iterations = 0
+        while worklist:
+            iterations += 1
+            if iterations > MAX_ITERATIONS:
+                raise RuntimeError(
+                    "taint analysis failed to converge "
+                    f"after {MAX_ITERATIONS} iterations"
+                )
+            slot = worklist.popleft()
+            env = dict(in_envs.get(slot, {}))
+            self._transfer(self.program.at(slot), env, facts[slot])
+            for edge in self.cfg.successors(slot):
+                succ_env = in_envs.setdefault(edge.dst, {})
+                first_visit = not facts[edge.dst].reachable
+                if _join_env(succ_env, env) or first_visit:
+                    if edge.dst not in worklist:
+                        worklist.append(edge.dst)
+        return facts
+
+    # ------------------------------------------------------------------
+    def _read(self, env: Env, regs: List[str]) -> List[AbsValue]:
+        return [env.get(reg, UNKNOWN) for reg in regs]
+
+    def _try_compute(
+        self, inst: Instruction, operands: List[AbsValue]
+    ) -> Optional[int]:
+        """Evaluate ``compute`` when every operand is a known constant."""
+        if inst.compute is None:
+            return None
+        values = [op.const for op in operands]
+        if any(v is None for v in values):
+            return None
+        try:
+            result = inst.compute(*values)
+        except Exception:
+            return None
+        return result if isinstance(result, int) else None
+
+    def _transfer(self, inst: Instruction, env: Env, facts: SlotFacts) -> None:
+        """Apply ``inst`` to ``env`` in place, accumulating into ``facts``
+        (facts join across visits: taint bits OR, constants must agree)."""
+        oc = inst.opclass
+        revisit = facts.reachable
+        operands = self._read(env, list(inst.srcs))
+        operand_taint = any(op.taint for op in operands)
+        result = UNKNOWN
+
+        if oc is OpClass.ALU:
+            const = self._try_compute(inst, operands)
+            result = AbsValue(taint=operand_taint, const=const)
+        elif oc in (OpClass.LOAD, OpClass.STORE):
+            addr = self._try_compute(inst, operands)
+            addr_taint = operand_taint
+            secret = addr is not None and self.policy.is_secret(addr)
+            if oc is OpClass.STORE and inst.value_src is not None:
+                value_op = env.get(inst.value_src, UNKNOWN)
+                operand_taint = operand_taint or value_op.taint
+            if oc is OpClass.LOAD:
+                # Taint sources: a secret-region load; transmitters: a
+                # tainted address makes the loaded value tainted too.
+                result = TAINTED if (secret or addr_taint) else UNKNOWN
+            self._accumulate_memory(facts, addr, addr_taint, secret)
+        elif oc is OpClass.BRANCH:
+            pass  # condition taint tracked via operand_taint below
+        # FENCE/NOP/HALT: no dataflow effect.
+
+        facts.reachable = True
+        facts.operand_taint = facts.operand_taint or operand_taint
+        if inst.dst is not None and oc is not OpClass.STORE:
+            env[inst.dst] = result
+            facts.result = facts.result.join(result) if revisit else result
+
+    def _accumulate_memory(
+        self,
+        facts: SlotFacts,
+        addr: Optional[int],
+        addr_taint: bool,
+        secret: bool,
+    ) -> None:
+        if facts.reachable:
+            facts.address = facts.address if facts.address == addr else None
+        else:
+            facts.address = addr
+        facts.address_taint = facts.address_taint or addr_taint
+        facts.secret_load = facts.secret_load or secret

@@ -1,0 +1,309 @@
+"""Gadget detectors: taint x resources inside speculative windows.
+
+Each detector encodes one interference family from the paper as a
+static pattern over (a) the taint facts of :mod:`.dataflow`, (b) the
+resource summaries of :mod:`.resources`, and (c) the speculative windows
+of :mod:`.cfg`:
+
+* **GD-NPEU** (§3.2.1, Fig. 3/6) — a tainted operand reaches an
+  instruction that occupies a *non-pipelined* execution unit, or one
+  whose latency is operand-dependent (``dynamic_latency``, the
+  data-dependent-arithmetic transmitter of §3.2.2).  Secret-dependent
+  occupancy of a serializing unit delays bound-to-retire work.
+* **GD-MSHR** (§3.2.2, Fig. 4) — tainted-address loads inside one
+  window whose fan-out can reach the L1-D MSHR capacity: whether they
+  coalesce (one line) or exhaust the file is secret-dependent.
+* **G-IRS** (§3.2.2, Fig. 5) — instructions data-dependent on a tainted
+  load collectively holding enough RS micro-op slots to fill the
+  reservation station, throttling the frontend.
+* **forward interference** ("It's a Trap!", Aimoniotis et al.) — any
+  tainted speculative instruction sharing an issue port with an older,
+  bound-to-retire instruction that can still be pending when the window
+  executes (long latency, non-pipelined unit, or a load).
+
+Detectors only report windows that actually carry taint, so a program
+with no secret-reachable load produces zero findings by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.staticcheck.cfg import SpeculativeWindow
+from repro.staticcheck.dataflow import SlotFacts
+from repro.staticcheck.report import (
+    FAMILY_FORWARD,
+    FAMILY_GDMSHR,
+    FAMILY_GDNPEU,
+    FAMILY_GIRS,
+    Finding,
+    Severity,
+    make_evidence,
+)
+from repro.staticcheck.resources import ResourceSummary
+
+#: An older instruction with at least this latency counts as plausibly
+#: still pending when the speculative window issues (forward
+#: interference needs the bound-to-retire op to overlap the window).
+PENDING_LATENCY_THRESHOLD = 5
+
+#: At most this many (older, younger) pairs are listed per
+#: forward-interference finding's evidence.
+MAX_PAIR_EVIDENCE = 8
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Capacities the detectors compare resource demand against."""
+
+    rob_size: int
+    rs_size: int
+    mshr_capacity: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "rob_size": self.rob_size,
+            "rs_size": self.rs_size,
+            "mshr_capacity": self.mshr_capacity,
+        }
+
+
+def _tainted_slots(
+    window: SpeculativeWindow, facts: Dict[int, SlotFacts]
+) -> List[int]:
+    return [
+        slot
+        for slot in window.slots
+        if facts[slot].operand_taint or facts[slot].address_taint
+    ]
+
+
+def _bound_to_retire(
+    window: SpeculativeWindow, facts: Dict[int, SlotFacts]
+) -> List[int]:
+    """Slots older than the window's branch in fetch order.
+
+    Straight-line fetch order approximates age: anything at a smaller
+    slot than the mispredictable branch was fetched earlier and (being
+    outside this window) retires regardless of the prediction.
+    """
+    return [
+        slot for slot in range(window.branch_slot) if facts[slot].reachable
+    ]
+
+
+# ----------------------------------------------------------------------
+# GD-NPEU
+# ----------------------------------------------------------------------
+def detect_gdnpeu(
+    window: SpeculativeWindow,
+    facts: Dict[int, SlotFacts],
+    resources: Dict[int, ResourceSummary],
+) -> List[Finding]:
+    hits = [
+        slot
+        for slot in _tainted_slots(window, facts)
+        if resources[slot].occupies_nonpipelined_unit
+        or resources[slot].operand_dependent
+    ]
+    if not hits:
+        return []
+    occupancy = sum(
+        resources[s].latency
+        for s in hits
+        if resources[s].occupies_nonpipelined_unit
+    )
+    dynamic = [s for s in hits if resources[s].operand_dependent]
+    ports = sorted({resources[s].port for s in hits})
+    older_same_port = [
+        s
+        for w_port in ports
+        for s in range(window.branch_slot)
+        if facts[s].reachable and resources[s].port == w_port
+    ]
+    severity = Severity.HIGH if (older_same_port or dynamic) else Severity.MEDIUM
+    pieces = []
+    if occupancy:
+        pieces.append(
+            f"{len(hits) - len(dynamic)} tainted op(s) occupy a "
+            f"non-pipelined unit for {occupancy} cycle(s)"
+        )
+    if dynamic:
+        pieces.append(
+            f"{len(dynamic)} tainted op(s) with operand-dependent latency"
+        )
+    message = (
+        "secret-dependent execution-unit occupancy in a speculative "
+        "window: " + "; ".join(pieces)
+    )
+    return [
+        Finding(
+            family=FAMILY_GDNPEU,
+            severity=severity,
+            branch_slot=window.branch_slot,
+            direction=window.direction,
+            slots=tuple(sorted(hits)),
+            message=message,
+            evidence=make_evidence(
+                occupancy_cycles=occupancy,
+                dynamic_latency_ops=len(dynamic),
+                ports=ports,
+                contending_older_slots=sorted(older_same_port),
+            ),
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# GD-MSHR
+# ----------------------------------------------------------------------
+def detect_gdmshr(
+    window: SpeculativeWindow,
+    facts: Dict[int, SlotFacts],
+    resources: Dict[int, ResourceSummary],
+    config: DetectorConfig,
+) -> List[Finding]:
+    tainted_loads = [
+        slot
+        for slot in window.slots
+        if resources[slot].is_load and facts[slot].address_taint
+    ]
+    fanout = sum(resources[s].mshr_demand for s in tainted_loads)
+    if fanout < config.mshr_capacity:
+        return []
+    message = (
+        f"{fanout} secret-addressed load(s) in one speculative window can "
+        f"demand >= {config.mshr_capacity} L1-D MSHRs: whether they "
+        "coalesce or exhaust the file is secret-dependent"
+    )
+    return [
+        Finding(
+            family=FAMILY_GDMSHR,
+            severity=Severity.HIGH,
+            branch_slot=window.branch_slot,
+            direction=window.direction,
+            slots=tuple(sorted(tainted_loads)),
+            message=message,
+            evidence=make_evidence(
+                mshr_fanout=fanout, mshr_capacity=config.mshr_capacity
+            ),
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# G-IRS
+# ----------------------------------------------------------------------
+def detect_girs(
+    window: SpeculativeWindow,
+    facts: Dict[int, SlotFacts],
+    resources: Dict[int, ResourceSummary],
+    config: DetectorConfig,
+) -> List[Finding]:
+    dependents = [
+        slot for slot in window.slots if facts[slot].operand_taint
+    ]
+    demand = sum(resources[s].micro_ops for s in dependents)
+    if demand < config.rs_size:
+        return []
+    message = (
+        f"{len(dependents)} taint-dependent op(s) holding {demand} "
+        f"micro-op slot(s) can fill the {config.rs_size}-entry reservation "
+        "station while their producer is outstanding, throttling fetch"
+    )
+    return [
+        Finding(
+            family=FAMILY_GIRS,
+            severity=Severity.HIGH,
+            branch_slot=window.branch_slot,
+            direction=window.direction,
+            slots=tuple(sorted(dependents)),
+            message=message,
+            evidence=make_evidence(rs_demand=demand, rs_size=config.rs_size),
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# forward interference
+# ----------------------------------------------------------------------
+def _may_be_pending(summary: ResourceSummary) -> bool:
+    return (
+        summary.is_load
+        or summary.occupies_nonpipelined_unit
+        or summary.operand_dependent
+        or summary.latency >= PENDING_LATENCY_THRESHOLD
+    )
+
+
+def detect_forward_interference(
+    window: SpeculativeWindow,
+    facts: Dict[int, SlotFacts],
+    resources: Dict[int, ResourceSummary],
+) -> List[Finding]:
+    tainted = _tainted_slots(window, facts)
+    if not tainted:
+        return []
+    older = [
+        s for s in _bound_to_retire(window, facts) if _may_be_pending(resources[s])
+    ]
+    pairs: List[Tuple[int, int]] = []
+    ports: Set[int] = set()
+    for young in tainted:
+        port = resources[young].port
+        for old in older:
+            if resources[old].port == port:
+                pairs.append((old, young))
+                ports.add(port)
+    if not pairs:
+        return []
+    nonpipelined = any(resources[y].occupies_nonpipelined_unit for _, y in pairs)
+    message = (
+        f"{len(pairs)} tainted speculative op(s) contend on issue port(s) "
+        f"{sorted(ports)} with older, bound-to-retire op(s) that may still "
+        "be pending — secret-dependent delay of committed work"
+    )
+    return [
+        Finding(
+            family=FAMILY_FORWARD,
+            severity=Severity.HIGH if nonpipelined else Severity.MEDIUM,
+            branch_slot=window.branch_slot,
+            direction=window.direction,
+            slots=tuple(sorted({y for _, y in pairs})),
+            message=message,
+            evidence=make_evidence(
+                ports=sorted(ports),
+                pairs=pairs[:MAX_PAIR_EVIDENCE],
+                pair_count=len(pairs),
+                older_slots=sorted({o for o, _ in pairs}),
+            ),
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+def detect_gadgets(
+    windows: Sequence[SpeculativeWindow],
+    facts: Dict[int, SlotFacts],
+    resources: Dict[int, ResourceSummary],
+    config: DetectorConfig,
+) -> List[Finding]:
+    """Run every detector over every window; deduplicate identical
+    findings reported from overlapping windows."""
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, Tuple[int, ...], int]] = set()
+    for window in windows:
+        produced = (
+            detect_gdnpeu(window, facts, resources)
+            + detect_gdmshr(window, facts, resources, config)
+            + detect_girs(window, facts, resources, config)
+            + detect_forward_interference(window, facts, resources)
+        )
+        for finding in produced:
+            key = (finding.family, finding.slots, finding.branch_slot)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(finding)
+    return findings

@@ -1,0 +1,72 @@
+"""Sweep pre-filter: skip trials whose victim is provably gadget-free.
+
+A Table 1-style sweep multiplies victims by schemes by secrets; when the
+static analyzer proves a victim carries no interference gadget, every
+trial built on it can be answered "not vulnerable" without simulation.
+:func:`prefilter_specs` partitions a spec list accordingly — the static
+analysis runs once per distinct ``(victim, kwargs)``, not once per spec.
+
+The filter is deliberately one-sided: *flagged* means "simulate this",
+never "vulnerable" (the simulator and cross-validation decide that), so
+a false positive costs only a simulation while the detectors' taint
+over-approximation keeps false negatives out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.victims import ATTACK_HIERARCHY, victim_by_name
+from repro.runner.spec import TrialSpec
+from repro.staticcheck.analyzer import analyze_victim
+from repro.staticcheck.report import AnalysisReport
+
+
+@dataclass
+class PrefilterResult:
+    """Partition of a spec list by the static analyzer's verdict."""
+
+    #: Specs whose victim carries at least one finding: simulate these.
+    flagged: List[TrialSpec] = field(default_factory=list)
+    #: Specs whose victim the analyzer proved gadget-free.
+    clean: List[TrialSpec] = field(default_factory=list)
+    #: One report per distinct victim identity analyzed.
+    reports: Dict[str, AnalysisReport] = field(default_factory=dict)
+
+    @property
+    def skipped_trials(self) -> int:
+        return len(self.clean)
+
+
+def _victim_key(spec: TrialSpec) -> Tuple[str, Tuple[Tuple[str, object], ...]]:
+    return (spec.victim, spec.victim_kwargs)
+
+
+def prefilter_specs(
+    specs: Sequence[TrialSpec],
+    *,
+    mshr_capacity: Optional[int] = None,
+) -> PrefilterResult:
+    """Partition ``specs`` into flagged (worth simulating) and clean.
+
+    The MSHR capacity defaults to each spec's ``hierarchy_config`` (the
+    attack hierarchy when unset), matching what the trial would run
+    under.
+    """
+    result = PrefilterResult()
+    cache: Dict[Tuple[object, ...], AnalysisReport] = {}
+    for spec in specs:
+        capacity = mshr_capacity
+        if capacity is None:
+            hierarchy = spec.hierarchy_config or ATTACK_HIERARCHY
+            capacity = hierarchy.l1d_mshrs
+        key = (*_victim_key(spec), capacity)
+        report = cache.get(key)
+        if report is None:
+            victim = victim_by_name(spec.victim, **dict(spec.victim_kwargs))
+            report = analyze_victim(victim, mshr_capacity=capacity)
+            cache[key] = report
+            result.reports[victim.name] = report
+        (result.clean if report.clean else result.flagged).append(spec)
+    return result

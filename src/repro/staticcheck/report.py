@@ -1,0 +1,163 @@
+"""Findings and reports: the analyzer's structured output.
+
+A :class:`Finding` names the gadget family, the speculative window it
+lives in, the implicated instruction slots, and the *cycle-resource
+evidence* — the concrete numbers (occupancy cycles, MSHR fan-out vs.
+capacity, RS demand vs. size) that make the claim checkable.  Reports
+render both as JSON (machine-consumable, the CLI's ``--json``) and as a
+human listing.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Gadget family identifiers.  The first three match the paper's names
+#: (and ``VictimSpec.gadget``); the fourth is the "It's a Trap!"
+#: forward-interference pattern (tainted younger op contending with a
+#: bound-to-retire older op).
+FAMILY_GDNPEU = "gdnpeu"
+FAMILY_GDMSHR = "gdmshr"
+FAMILY_GIRS = "girs"
+FAMILY_FORWARD = "forward-interference"
+FAMILIES = (FAMILY_GDNPEU, FAMILY_GDMSHR, FAMILY_GIRS, FAMILY_FORWARD)
+
+
+class Severity(str, enum.Enum):
+    """How directly the finding maps to a usable covert channel."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    @property
+    def rank(self) -> int:
+        return ("low", "medium", "high").index(self.value)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected interference gadget."""
+
+    family: str
+    severity: Severity
+    #: The mispredictable branch whose shadow hosts the gadget.
+    branch_slot: int
+    #: Window direction ('taken' | 'fallthrough').
+    direction: str
+    #: Implicated instruction slots, ascending.
+    slots: Tuple[int, ...]
+    message: str
+    #: Cycle-resource evidence as sorted (key, value) pairs — kept as a
+    #: tuple so findings stay hashable/frozen; see :meth:`evidence_dict`.
+    evidence: Tuple[Tuple[str, Any], ...] = ()
+    #: Set by the cross-validation harness: the simulator reproduced
+    #: (True) or failed to reproduce (False) a dynamic interference
+    #: signal for this finding's victim.  None = not cross-validated.
+    confirmed: Optional[bool] = None
+
+    def evidence_dict(self) -> Dict[str, Any]:
+        return dict(self.evidence)
+
+    def with_confirmation(self, confirmed: bool) -> "Finding":
+        return replace(self, confirmed=confirmed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "family": self.family,
+            "severity": self.severity.value,
+            "branch_slot": self.branch_slot,
+            "direction": self.direction,
+            "slots": list(self.slots),
+            "message": self.message,
+            "evidence": self.evidence_dict(),
+            "confirmed": self.confirmed,
+        }
+
+
+def make_evidence(**kv: Any) -> Tuple[Tuple[str, Any], ...]:
+    """Sorted, hashable evidence pairs from keyword arguments."""
+    return tuple(sorted(kv.items()))
+
+
+@dataclass
+class AnalysisReport:
+    """All findings for one program, plus what was analyzed."""
+
+    name: str
+    instructions: int
+    windows: int
+    findings: List[Finding] = field(default_factory=list)
+    #: Echo of the capacities the detectors compared against.
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def families(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for finding in self.findings:
+            if finding.family not in seen:
+                seen.append(finding.family)
+        return tuple(seen)
+
+    def by_family(self, family: str) -> List[Finding]:
+        return [f for f in self.findings if f.family == family]
+
+    def sorted_findings(self) -> List[Finding]:
+        """Severity-descending, then program order."""
+        return sorted(
+            self.findings,
+            key=lambda f: (-f.severity.rank, f.branch_slot, f.slots),
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "instructions": self.instructions,
+            "windows": self.windows,
+            "config": dict(self.config),
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [
+            f"staticcheck: {self.name} "
+            f"({self.instructions} instructions, {self.windows} speculative "
+            f"window(s))"
+        ]
+        if self.config:
+            caps = ", ".join(f"{k}={v}" for k, v in sorted(self.config.items()))
+            lines.append(f"  capacities: {caps}")
+        if self.clean:
+            lines.append("  no interference gadgets found")
+            return "\n".join(lines)
+        for finding in self.sorted_findings():
+            mark = {True: " [confirmed]", False: " [NOT confirmed]"}.get(
+                finding.confirmed, ""
+            )
+            lines.append(
+                f"  [{finding.severity.value.upper():6s}] {finding.family}: "
+                f"{finding.message}{mark}"
+            )
+            lines.append(
+                f"           window: branch@{finding.branch_slot} "
+                f"({finding.direction}); slots {list(finding.slots)}"
+            )
+            if finding.evidence:
+                ev = ", ".join(f"{k}={v}" for k, v in finding.evidence)
+                lines.append(f"           evidence: {ev}")
+        return "\n".join(lines)
+
+
+def render_reports(reports: Sequence[AnalysisReport]) -> str:
+    return "\n\n".join(report.render() for report in reports)

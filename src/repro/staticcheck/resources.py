@@ -1,0 +1,79 @@
+"""Per-instruction hardware-resource summaries.
+
+Every interference gadget is, mechanically, a claim about the resources
+an instruction occupies: which issue port (and whether its execution
+unit is pipelined — a non-pipelined unit is *occupied* for the full
+latency, §3.2.1), how many reservation-station micro-op slots it holds,
+and whether it can demand an L1-D MSHR.  This module flattens a program
+against a :class:`~repro.pipeline.config.CoreConfig` port map into one
+:class:`ResourceSummary` per slot so the detectors can reason about
+taint x resources without touching the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.isa.instructions import OpClass
+from repro.isa.program import Program
+from repro.pipeline.config import CoreConfig
+
+
+@dataclass(frozen=True)
+class ResourceSummary:
+    """Static resource demand of one instruction slot."""
+
+    slot: int
+    opclass: OpClass
+    port: int
+    port_name: str
+    pipelined: bool
+    #: Static execution latency (non-pipelined units are busy this long).
+    latency: int
+    #: The latency is a function of operand values (``dynamic_latency``)
+    #: — a data-dependent-arithmetic transmitter (§3.2.2).
+    operand_dependent: bool
+    micro_ops: int
+    #: Worst-case L1-D MSHR demand (loads may always miss).
+    mshr_demand: int
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is OpClass.STORE
+
+    @property
+    def occupies_nonpipelined_unit(self) -> bool:
+        return not self.pipelined
+
+
+def summarize_resources(
+    program: Program, core_config: Optional[CoreConfig] = None
+) -> Dict[int, ResourceSummary]:
+    """One :class:`ResourceSummary` per slot under ``core_config``'s
+    port map (defaults to the project-wide :func:`default_ports`)."""
+    config = core_config or CoreConfig()
+    summaries: Dict[int, ResourceSummary] = {}
+    for slot, inst in enumerate(program):
+        if not 0 <= inst.port < len(config.ports):
+            raise ValueError(
+                f"instruction at slot {slot} issues to port {inst.port}, "
+                f"but the core only has ports 0..{len(config.ports) - 1}"
+            )
+        port_cfg = config.ports[inst.port]
+        summaries[slot] = ResourceSummary(
+            slot=slot,
+            opclass=inst.opclass,
+            port=inst.port,
+            port_name=port_cfg.name,
+            pipelined=port_cfg.pipelined,
+            latency=inst.latency,
+            operand_dependent=inst.dynamic_latency is not None,
+            micro_ops=inst.micro_ops,
+            mshr_demand=1 if inst.opclass is OpClass.LOAD else 0,
+        )
+    return summaries

@@ -104,3 +104,30 @@ class TestProgramValidation:
     def test_label_out_of_range_rejected(self):
         with pytest.raises(ValueError):
             Program(instructions=[], labels={"x": 5})
+
+    def test_store_of_written_register_accepted(self):
+        b = ProgramBuilder()
+        b.imm("v", 7)
+        b.store_addr(0x1000, "v")
+        b.halt()
+        prog = b.build()
+        assert any(i.opclass is OpClass.STORE for i in prog)
+
+    def test_store_of_unwritten_value_src_rejected(self):
+        b = ProgramBuilder()
+        b.imm("v", 7)
+        b.store_addr(0x1000, "w")  # nothing ever writes 'w'
+        b.halt()
+        with pytest.raises(ValueError, match="value_src"):
+            b.build()
+
+    def test_store_cannot_feed_itself(self):
+        # A store writes memory, not a register: another store's output
+        # name does not count as a written value source.
+        b = ProgramBuilder()
+        b.imm("v", 7)
+        b.store_addr(0x1000, "v")
+        b.store_addr(0x1040, "x")
+        b.halt()
+        with pytest.raises(ValueError, match="value_src"):
+            b.build()

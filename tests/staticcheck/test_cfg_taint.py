@@ -1,0 +1,161 @@
+"""Unit tests for the CFG and taint/constant dataflow passes."""
+
+from repro.core.victims import ADDR_SECRET
+from repro.isa import ProgramBuilder
+from repro.staticcheck import (
+    EDGE_FALLTHROUGH,
+    EDGE_TAKEN,
+    ControlFlowGraph,
+    TaintAnalysis,
+    TaintPolicy,
+    speculative_windows,
+)
+
+POLICY = TaintPolicy(secret_addrs=(ADDR_SECRET,))
+
+ADDR_PUBLIC = 0x9000
+
+
+def branchy_program():
+    b = ProgramBuilder()
+    b.imm("i", 1)
+    b.branch_if(["i"], lambda v: v > 0, "body", name="cond")
+    b.jump("end")
+    b.label("body")
+    b.imm("x", 2)
+    b.label("end")
+    b.halt()
+    return b.build()
+
+
+class TestControlFlowGraph:
+    def test_conditional_branch_has_two_successors(self):
+        prog = branchy_program()
+        cfg = ControlFlowGraph(prog)
+        kinds = {e.kind: e.dst for e in cfg.successors(1)}
+        assert kinds[EDGE_FALLTHROUGH] == 2
+        assert kinds[EDGE_TAKEN] == prog.slot_of_label("body")
+
+    def test_unconditional_jump_has_single_successor(self):
+        prog = branchy_program()
+        cfg = ControlFlowGraph(prog)
+        edges = cfg.successors(2)  # the jump
+        assert len(edges) == 1
+        assert edges[0].kind == EDGE_TAKEN
+
+    def test_halt_has_no_successors(self):
+        prog = branchy_program()
+        cfg = ControlFlowGraph(prog)
+        assert cfg.successors(len(prog) - 1) == ()
+
+    def test_windows_cover_both_directions(self):
+        cfg = ControlFlowGraph(branchy_program())
+        windows = speculative_windows(cfg, rob_size=64)
+        directions = {(w.branch_slot, w.direction) for w in windows}
+        assert (1, EDGE_TAKEN) in directions
+        assert (1, EDGE_FALLTHROUGH) in directions
+
+    def test_window_truncated_by_rob_size(self):
+        b = ProgramBuilder()
+        b.imm("i", 1)
+        b.branch_if(["i"], lambda v: v > 0, "body", name="cond")
+        b.label("body")
+        for k in range(16):
+            b.imm(f"r{k}", k)
+        b.halt()
+        cfg = ControlFlowGraph(b.build())
+        small = {
+            w.direction: w for w in speculative_windows(cfg, rob_size=4)
+        }
+        assert small[EDGE_TAKEN].truncated
+        assert len(small[EDGE_TAKEN].slots) == 4
+        big = {
+            w.direction: w for w in speculative_windows(cfg, rob_size=256)
+        }
+        assert not big[EDGE_TAKEN].truncated
+
+
+class TestTaintAnalysis:
+    def run_facts(self, program, registers=None):
+        return TaintAnalysis(program, POLICY, registers=registers).run()
+
+    def test_secret_load_taints_destination(self):
+        b = ProgramBuilder()
+        b.load_addr("sec", ADDR_SECRET, name="secret load")
+        b.halt()
+        facts = self.run_facts(b.build())
+        assert facts[0].secret_load
+        assert facts[0].result.taint
+
+    def test_secrecy_is_line_granular(self):
+        b = ProgramBuilder()
+        b.load_addr("sec", ADDR_SECRET + 8, name="same line")
+        b.load_addr("pub", ADDR_SECRET + 4096, name="far away")
+        b.halt()
+        facts = self.run_facts(b.build())
+        assert facts[0].secret_load
+        assert not facts[1].secret_load
+        assert not facts[1].result.taint
+
+    def test_taint_propagates_through_alu(self):
+        b = ProgramBuilder()
+        b.load_addr("sec", ADDR_SECRET)
+        b.addi("derived", "sec", 3)
+        b.addi("clean", "derived", 0)
+        b.halt()
+        facts = self.run_facts(b.build())
+        assert facts[1].operand_taint
+        assert facts[1].result.taint
+        assert facts[2].operand_taint
+
+    def test_tainted_address_marks_transmitter(self):
+        b = ProgramBuilder()
+        b.load_addr("sec", ADDR_SECRET)
+        b.load("leak", ["sec"], lambda s: ADDR_PUBLIC + s * 64, name="xmit")
+        b.halt()
+        facts = self.run_facts(b.build())
+        assert facts[1].address_taint
+        assert facts[1].result.taint
+
+    def test_constants_fold_through_alu(self):
+        b = ProgramBuilder()
+        b.imm("a", 5)
+        b.addi("b", "a", 2)
+        b.load("x", ["b"], lambda v: v * 64, name="const addr")
+        b.halt()
+        facts = self.run_facts(b.build())
+        assert facts[1].result.const == 7
+        assert facts[2].address == 7 * 64
+        assert not facts[2].result.taint
+
+    def test_initial_registers_seed_constants(self):
+        b = ProgramBuilder()
+        b.load("x", ["base"], lambda v: v, name="reg addr")
+        b.halt()
+        facts = self.run_facts(b.build(), registers={"base": ADDR_SECRET})
+        assert facts[0].secret_load
+
+    def test_unreachable_slots_stay_unreachable(self):
+        b = ProgramBuilder()
+        b.jump("end")
+        b.load_addr("sec", ADDR_SECRET, name="dead code")
+        b.label("end")
+        b.halt()
+        facts = self.run_facts(b.build())
+        assert not facts[1].reachable
+
+    def test_join_drops_disagreeing_constants(self):
+        b = ProgramBuilder()
+        b.imm("i", 0)
+        b.branch_if(["i"], lambda v: v == 0, "other", name="cond")
+        b.imm("x", 1)
+        b.jump("merge")
+        b.label("other")
+        b.imm("x", 2)
+        b.label("merge")
+        b.addi("y", "x", 0)
+        b.halt()
+        facts = self.run_facts(b.build())
+        merge = b.build().slot_of_label("merge")
+        assert facts[merge].result.const is None
+        assert not facts[merge].result.taint

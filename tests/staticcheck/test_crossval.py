@@ -1,0 +1,38 @@
+"""Cross-validation: static findings must coincide with dynamic signals."""
+
+import pytest
+
+from repro.core.victims import victim_by_name
+from repro.staticcheck import analyze_victim, cross_validate, dynamic_signals
+
+
+@pytest.mark.parametrize("name", ["gdnpeu", "gdmshr", "girs"])
+def test_findings_confirmed_dynamically(name):
+    victim = victim_by_name(name)
+    report = analyze_victim(victim)
+    assert report.findings
+    verdict = cross_validate(victim, report)
+    assert verdict.all_confirmed, [
+        (f.family, f.confirmed) for f in verdict.findings
+    ]
+    # cross_validate stamps the report's findings in place too.
+    assert all(f.confirmed for f in report.findings)
+
+
+def test_girs_confirmation_uses_instruction_side():
+    victim = victim_by_name("girs")
+    signals = dynamic_signals(victim)
+    assert any(s.side == "inst" for s in signals)
+
+
+def test_gdnpeu_order_flip_signal():
+    victim = victim_by_name("gdnpeu")
+    signals = dynamic_signals(victim)
+    assert any(s.kind == "order-flip" for s in signals)
+
+
+def test_confirmation_marks_render():
+    victim = victim_by_name("gdmshr")
+    report = analyze_victim(victim)
+    cross_validate(victim, report)
+    assert "[confirmed]" in report.render()

@@ -1,0 +1,166 @@
+"""Gadget detectors + CLI: every victim kit flags, clean code stays clean."""
+
+import json
+
+import pytest
+
+from repro.core.victims import (
+    ADDR_A,
+    ADDR_B,
+    ADDR_SECRET,
+    VICTIM_FACTORIES,
+    victim_by_name,
+)
+from repro.isa import ProgramBuilder
+from repro.staticcheck import (
+    FAMILY_GDMSHR,
+    FAMILY_GDNPEU,
+    FAMILY_GIRS,
+    analyze_program,
+    analyze_victim,
+    prefilter_specs,
+)
+from repro.staticcheck.__main__ import main
+from repro.runner.spec import TrialSpec
+
+#: Victim registry name -> the family its detector must report.
+EXPECTED_FAMILY = {
+    "gdnpeu": FAMILY_GDNPEU,
+    "gdnpeu-arith": FAMILY_GDNPEU,
+    "gdnpeu-architectural": FAMILY_GDNPEU,
+    "gdnpeu-store": FAMILY_GDNPEU,
+    "gdnpeu-occupancy": FAMILY_GDNPEU,
+    "gdmshr": FAMILY_GDMSHR,
+    "girs": FAMILY_GIRS,
+}
+
+
+def control_program():
+    """Victim-shaped program that never touches the secret."""
+    b = ProgramBuilder()
+    b.imm("i", 1)
+    b.imm("n", 10)
+    b.branch_if(["i", "n"], lambda i, n: i < n, "body", name="branch")
+    b.jump("end")
+    b.label("body")
+    b.load_addr("pub", ADDR_A, name="public load")
+    for k in range(8):
+        b.alu(f"p{k}", ["pub"], lambda v: v + 1, latency=15, port=0)
+    b.load_addr("pub2", ADDR_B)
+    b.label("end")
+    b.halt()
+    return b.build()
+
+
+class TestDetectors:
+    def test_registry_covers_every_victim(self):
+        assert set(EXPECTED_FAMILY) == set(VICTIM_FACTORIES)
+
+    @pytest.mark.parametrize("name", sorted(VICTIM_FACTORIES))
+    def test_every_victim_kit_is_flagged(self, name):
+        report = analyze_victim(victim_by_name(name))
+        assert EXPECTED_FAMILY[name] in report.families(), report.render()
+
+    @pytest.mark.parametrize("name", sorted(VICTIM_FACTORIES))
+    def test_no_foreign_primary_family(self, name):
+        """A victim must not trip the *other* primary detectors (forward
+        interference may legitimately co-occur with any of them)."""
+        report = analyze_victim(victim_by_name(name))
+        primaries = {FAMILY_GDNPEU, FAMILY_GDMSHR, FAMILY_GIRS}
+        foreign = (set(report.families()) & primaries) - {EXPECTED_FAMILY[name]}
+        assert not foreign, report.render()
+
+    def test_gadget_free_control_is_clean(self):
+        report = analyze_program(
+            control_program(), secret_addrs=(ADDR_SECRET,), name="control"
+        )
+        assert report.clean, report.render()
+
+    def test_report_roundtrips_to_json(self):
+        report = analyze_victim(victim_by_name("gdmshr"))
+        blob = json.loads(report.to_json())
+        assert blob["name"] == "gdmshr-vd-vd"
+        assert any(f["family"] == FAMILY_GDMSHR for f in blob["findings"])
+
+    def test_severity_orders_findings(self):
+        report = analyze_victim(victim_by_name("gdnpeu"))
+        ranks = [f.severity.rank for f in report.sorted_findings()]
+        assert ranks == sorted(ranks, reverse=True)
+
+
+class TestPrefilter:
+    def test_gadget_victims_are_flagged_not_skipped(self):
+        specs = [
+            TrialSpec(victim=v, scheme="unsafe", secret=s)
+            for v in ("gdnpeu", "gdmshr")
+            for s in (0, 1)
+        ]
+        result = prefilter_specs(specs)
+        assert result.flagged == specs
+        assert result.skipped_trials == 0
+        assert set(result.reports) == {"gdnpeu-vd-vd", "gdmshr-vd-vd"}
+
+    def test_analysis_runs_once_per_victim_identity(self):
+        specs = [
+            TrialSpec(victim="girs", scheme=sch, secret=s)
+            for sch in ("unsafe", "dom-nontso")
+            for s in (0, 1)
+        ]
+        result = prefilter_specs(specs)
+        assert len(result.reports) == 1
+
+
+class TestCLI:
+    def test_default_run_reports_all_victims(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for name in VICTIM_FACTORIES:
+            victim = victim_by_name(name)
+            assert victim.name in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["gdmshr", "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert len(blob) == 1
+        assert blob[0]["findings"]
+
+    def test_require_family_satisfied(self):
+        assert main(["gdnpeu", "--require-family", "gdnpeu"]) == 0
+
+    def test_require_family_missing_fails(self, capsys):
+        assert main(["gdnpeu", "--require-family", "girs"]) == 1
+        assert "girs" in capsys.readouterr().err
+
+    def test_fail_on_findings(self):
+        assert main(["gdnpeu", "--fail-on-findings"]) == 1
+
+    def test_unknown_target_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["no-such-victim"])
+        assert exc.value.code == 2
+
+    def test_file_target_with_program(self, tmp_path, capsys):
+        target = tmp_path / "demo.py"
+        target.write_text(
+            "from repro.core.victims import ADDR_SECRET\n"
+            "from repro.isa import ProgramBuilder\n"
+            "b = ProgramBuilder()\n"
+            "b.imm('i', 1)\n"
+            "b.branch_if(['i'], lambda v: v > 0, 'body', name='cond')\n"
+            "b.label('body')\n"
+            "b.load_addr('sec', ADDR_SECRET)\n"
+            "for k in range(8):\n"
+            "    b.alu(f'd{k}', ['sec'], lambda v: v + 1, latency=15, port=0)\n"
+            "b.halt()\n"
+            "PROGRAM = b.build()\n"
+            "SECRET_ADDRS = (ADDR_SECRET,)\n"
+        )
+        assert main([str(target)]) == 0
+        assert "gdnpeu" in capsys.readouterr().out
+
+    def test_file_target_without_contract_exits_2(self, tmp_path):
+        target = tmp_path / "empty.py"
+        target.write_text("x = 1\n")
+        with pytest.raises(SystemExit) as exc:
+            main([str(target)])
+        assert exc.value.code == 2
