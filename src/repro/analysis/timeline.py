@@ -1,19 +1,27 @@
 """ASCII pipeline timelines — the Figure 3/4/5 attack-timeline views.
 
 Renders per-instruction lifetimes (fetch -> dispatch -> issue ->
-complete -> retire/squash) from a traced core, so the interference
-cascades can be *seen*: the gadget occupying the non-pipelined unit
-while the f-chain waits, the MSHR-blocked victim load, the frozen
-frontend.
+complete -> retire/squash) so the interference cascades can be *seen*:
+the gadget occupying the non-pipelined unit while the f-chain waits,
+the MSHR-blocked victim load, the frozen frontend.
+
+Rows are built from the structured trace (:mod:`repro.trace`) when one
+was collected — :func:`rows_from_events` reconstructs each lifetime
+from its FETCH/DISPATCH/ISSUE/WRITEBACK/COMMIT/SQUASH events — and fall
+back to the legacy per-instruction ``core.trace`` list otherwise, so
+``run_victim_trial(..., trace=True)`` callers see identical timelines
+either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.pipeline.core import Core
 from repro.pipeline.dyninstr import DynInstr, Phase
+from repro.trace.bus import Tracer
+from repro.trace.events import EventKind, TraceEvent
 
 
 @dataclass
@@ -39,17 +47,64 @@ class TimelineRow:
         return None
 
 
-def timeline_rows(
-    core: Core, *, names: Optional[Sequence[str]] = None
-) -> List[TimelineRow]:
-    """Extract rows from a core run with ``trace=True``.
+def _keep(name: str, names: Optional[Sequence[str]]) -> bool:
+    return names is None or any(name.startswith(n) for n in names)
 
-    ``names``: restrict (by instruction name prefix match) and preserve
-    dynamic order.
+
+def rows_from_events(
+    events: Iterable[TraceEvent], *, names: Optional[Sequence[str]] = None
+) -> List[TimelineRow]:
+    """Reconstruct per-instruction rows from a structured trace.
+
+    The first occurrence of each stage event wins (an instruction that
+    replays keeps its original timestamps, matching the legacy
+    ``DynInstr.events`` bookkeeping).  Included rows mirror the legacy
+    ``core.trace`` population: everything that retired, plus squashed
+    instructions that had reached the ROB (a DISPATCH event) — fetch-
+    queue squashes never produced a row before and still don't.
     """
+    stamps: Dict[int, Dict[EventKind, int]] = {}
+    instr_name: Dict[int, str] = {}
+    for event in events:
+        if event.seq is None:
+            continue
+        stages = stamps.setdefault(event.seq, {})
+        if event.kind not in stages:  # first occurrence wins
+            stages[event.kind] = event.cycle
+        if event.instr is not None and event.seq not in instr_name:
+            instr_name[event.seq] = event.instr
     rows = []
-    for instr in sorted(core.trace, key=lambda i: i.seq):
-        if names is not None and not any(instr.name.startswith(n) for n in names):
+    for seq in sorted(stamps):
+        stages = stamps[seq]
+        retired = EventKind.COMMIT in stages
+        squashed = EventKind.SQUASH in stages and not retired
+        if not retired and not (squashed and EventKind.DISPATCH in stages):
+            continue
+        name = instr_name.get(seq, f"#{seq}")
+        if not _keep(name, names):
+            continue
+        rows.append(
+            TimelineRow(
+                seq=seq,
+                name=name,
+                fetch=stages.get(EventKind.FETCH),
+                dispatch=stages.get(EventKind.DISPATCH),
+                issue=stages.get(EventKind.ISSUE),
+                complete=stages.get(EventKind.WRITEBACK),
+                retire=stages.get(EventKind.COMMIT),
+                squashed=squashed,
+            )
+        )
+    return rows
+
+
+def _rows_from_instrs(
+    instrs: Iterable[DynInstr], *, names: Optional[Sequence[str]] = None
+) -> List[TimelineRow]:
+    """Legacy path: rows from the core's retired-instruction list."""
+    rows = []
+    for instr in sorted(instrs, key=lambda i: i.seq):
+        if not _keep(instr.name, names):
             continue
         ev = instr.events
         rows.append(
@@ -65,6 +120,31 @@ def timeline_rows(
             )
         )
     return rows
+
+
+def timeline_rows(
+    source: Union[Core, Tracer, Iterable[TraceEvent]],
+    *,
+    names: Optional[Sequence[str]] = None,
+) -> List[TimelineRow]:
+    """Extract rows from a traced run.
+
+    ``source`` may be a :class:`Core` (its structured tracer is
+    preferred; the legacy ``core.trace`` list is the fallback), a
+    :class:`~repro.trace.Tracer`, or any iterable of
+    :class:`~repro.trace.TraceEvent`.
+
+    ``names``: restrict (by instruction name prefix match) and preserve
+    dynamic order.
+    """
+    if isinstance(source, Core):
+        tracer = source.tracer
+        if tracer is not None and tracer.events:
+            return rows_from_events(tracer.events, names=names)
+        return _rows_from_instrs(source.trace, names=names)
+    if isinstance(source, Tracer):
+        return rows_from_events(source.events, names=names)
+    return rows_from_events(source, names=names)
 
 
 def render_timeline(

@@ -27,6 +27,7 @@ from repro.schemes.registry import make_scheme
 from repro.system.agent import AttackerAgent
 from repro.system.machine import Machine
 from repro.system.noise import NoiseInjector
+from repro.trace import Tracer, install_tracer
 
 VICTIM_CORE = 0
 NOISE_CORE = 1
@@ -57,6 +58,14 @@ class TrialResult:
     #: exposing its check counters; None otherwise.
     sanitizer: Optional[object] = field(repr=False, default=None)
 
+    @property
+    def events(self):
+        """Structured trace events collected for this run (empty list
+        when no tracer was installed)."""
+        if self.core is not None and self.core.tracer is not None:
+            return self.core.tracer.events
+        return []
+
     def first_access(self, line: int) -> Optional[int]:
         return self.access_cycle.get(line)
 
@@ -83,9 +92,16 @@ def prepare_machine(
     core_config: Optional[CoreConfig] = None,
     mistrain_rounds: int = 4,
     trace: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> Tuple[Machine, Core, SpeculationScheme]:
     """Build a machine with the victim attached and the caches prepared
-    per the spec (prime/flush/mistrain).  Does not run it."""
+    per the spec (prime/flush/mistrain).  Does not run it.
+
+    ``trace=True`` keeps the legacy retired-instruction list on the core
+    *and* installs a structured :class:`repro.trace.Tracer` (a caller-
+    supplied ``tracer`` is used as-is).  The tracer is wired in after
+    cache warming/priming so preparation noise never reaches the trace.
+    """
     scheme_obj = resolve_scheme(scheme)
     machine = Machine(
         num_cores=3, hierarchy_config=hierarchy_config or ATTACK_HIERARCHY
@@ -123,6 +139,10 @@ def prepare_machine(
         registers=dict(spec.registers),
         trace=trace,
     )
+    if tracer is None and trace:
+        tracer = Tracer()
+    if tracer is not None:
+        install_tracer(tracer, machine=machine)
     return machine, core, scheme_obj
 
 
@@ -139,6 +159,7 @@ def run_victim_trial(
     seed: int = 0,
     max_cycles: int = 20_000,
     trace: bool = False,
+    tracer: Optional[Tracer] = None,
     extra_lines: Sequence[int] = (),
     fault_injector=None,
     sanitize: bool = False,
@@ -169,6 +190,7 @@ def run_victim_trial(
         hierarchy_config=hierarchy_config,
         core_config=core_config,
         trace=trace,
+        tracer=tracer,
     )
     sanitizer = None
     if sanitize:

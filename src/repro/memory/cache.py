@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.memory.address import AddressLayout
 from repro.memory.replacement import SetPolicy, make_policy
+from repro.trace.events import EventKind
 
 
 @dataclass
@@ -97,6 +98,9 @@ class Cache:
         #: Called with the evicted line address on every eviction
         #: (the hierarchy uses it to enforce LLC inclusivity).
         self.on_evict: Optional[Callable[[int], None]] = None
+        #: Optional :class:`repro.trace.Tracer` (cycle/core come from its
+        #: context, stamped by the hierarchy).  None = tracing off.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     def _set_for(self, addr: int) -> _CacheSet:
@@ -112,12 +116,24 @@ class Cache:
         line = self.layout.line_addr(addr)
         cset = self._set_for(addr)
         way = cset.way_of(line)
+        tracer = self.tracer
         if way is None:
             self.stats.misses += 1
+            if tracer is not None:
+                tracer.emit(
+                    EventKind.CACHE_MISS,
+                    cache=self.name,
+                    line=line,
+                    update=update,
+                )
             return False
         self.stats.hits += 1
         if update:
             cset.policy.on_hit(way)
+        if tracer is not None:
+            tracer.emit(
+                EventKind.CACHE_HIT, cache=self.name, line=line, update=update
+            )
         return True
 
     def fill(self, addr: int, *, update: bool = True) -> Optional[int]:
@@ -139,6 +155,16 @@ class Cache:
         self.stats.fills += 1
         if update:
             cset.policy.on_fill(way)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(EventKind.CACHE_FILL, cache=self.name, line=line)
+            if evicted is not None:
+                tracer.emit(
+                    EventKind.CACHE_EVICT,
+                    cache=self.name,
+                    line=evicted,
+                    reason="capacity",
+                )
         if evicted is not None:
             self.stats.evictions += 1
             if self.on_evict is not None:
@@ -166,6 +192,13 @@ class Cache:
         cset.lines[way] = None
         cset.policy.on_invalidate(way)
         self.stats.invalidations += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventKind.CACHE_EVICT,
+                cache=self.name,
+                line=line,
+                reason="invalidate",
+            )
         return True
 
     def flush_all(self) -> None:

@@ -142,6 +142,9 @@ class CacheHierarchy:
         )
         self.l1d_mshrs = [MSHRFile(cfg.l1d_mshrs) for _ in range(num_cores)]
         self.visible_log: List[VisibleAccess] = []
+        #: Optional :class:`repro.trace.Tracer`; installed by
+        #: ``repro.trace.install_tracer`` (None = tracing off, free).
+        self.tracer = None
         self.coherence: Optional[CoherenceDirectory] = None
         if cfg.enable_coherence:
             self.coherence = CoherenceDirectory(
@@ -184,6 +187,13 @@ class CacheHierarchy:
         the line and report the latency it would have taken, with no
         state change anywhere.
         """
+        tracer = self.tracer
+        if tracer is not None:
+            # Stamp the tracer's context so the leaf caches/MSHR files
+            # (which do not know the cycle or requester) attribute their
+            # events correctly.  Single-threaded lockstep makes this sound.
+            tracer.cycle = cycle
+            tracer.core = core
         line = self.llc.layout.line_addr(addr)
         l1 = self._l1(core, kind)
         l2 = self.l2[core]
@@ -236,6 +246,10 @@ class CacheHierarchy:
         Under coherence, remote copies are invalidated (they would
         otherwise serve stale presence) and a remotely-Modified line
         costs a writeback before ownership transfers."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.cycle = cycle
+            tracer.core = core
         self.memory.write(addr, value)
         penalty = 0
         if self.coherence is not None:
@@ -251,6 +265,14 @@ class CacheHierarchy:
     # ------------------------------------------------------------------
     # scheme / attacker helpers
     # ------------------------------------------------------------------
+    def all_caches(self) -> List[Cache]:
+        """Every cache level in the system (tracer wiring, audits)."""
+        caches: List[Cache] = []
+        for c in range(self.num_cores):
+            caches.extend((self.l1i[c], self.l1d[c], self.l2[c]))
+        caches.append(self.llc)
+        return caches
+
     def l1_hit(self, core: int, addr: int, kind: AccessKind = AccessKind.DATA) -> bool:
         """Non-destructive L1 presence check (DoM's hit/miss decision)."""
         return self._l1(core, kind).contains(addr)

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.trace.events import EventKind
+
 
 class MSHRFullError(RuntimeError):
     """Raised when allocation is attempted on a full MSHR file."""
@@ -38,6 +40,9 @@ class MSHRFile:
         self.allocations = 0
         self.coalesced = 0
         self.rejections = 0
+        #: Optional :class:`repro.trace.Tracer` (cycle/core come from its
+        #: context).  None = tracing off.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -60,6 +65,15 @@ class MSHRFile:
         if entry is not None:
             entry.consumers.add(consumer)
             self.coalesced += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventKind.MSHR_ALLOC,
+                    cycle=cycle,
+                    seq=consumer,
+                    line=line_addr,
+                    coalesced=True,
+                    occ=len(self._entries),
+                )
             return entry
         if self.full:
             self.rejections += 1
@@ -70,11 +84,28 @@ class MSHRFile:
         self._entries[line_addr] = entry
         self.allocations += 1
         self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventKind.MSHR_ALLOC,
+                cycle=cycle,
+                seq=consumer,
+                line=line_addr,
+                coalesced=False,
+                occ=len(self._entries),
+            )
         return entry
 
     def release(self, line_addr: int) -> Optional[MSHREntry]:
         """The miss completed: free the entry, returning it (with consumers)."""
-        return self._entries.pop(line_addr, None)
+        entry = self._entries.pop(line_addr, None)
+        if entry is not None and self.tracer is not None:
+            self.tracer.emit(
+                EventKind.MSHR_RELEASE,
+                line=line_addr,
+                occ=len(self._entries),
+                reason="complete",
+            )
+        return entry
 
     def drop_consumer(self, consumer: int) -> List[int]:
         """Remove ``consumer`` everywhere (squash); frees entries whose
@@ -86,6 +117,14 @@ class MSHRFile:
             if not entry.consumers:
                 del self._entries[line_addr]
                 freed.append(line_addr)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        EventKind.MSHR_RELEASE,
+                        seq=consumer,
+                        line=line_addr,
+                        occ=len(self._entries),
+                        reason="squash",
+                    )
         return freed
 
     def outstanding_lines(self) -> List[int]:

@@ -26,6 +26,8 @@ from repro.pipeline.lsu import LoadStoreUnit
 from repro.pipeline.reservation_station import ReservationStation
 from repro.pipeline.rob import ROB, SafetyFlags
 from repro.pipeline.scheme_api import SpeculationScheme, is_safe
+from repro.trace.bus import Tracer
+from repro.trace.events import EventKind
 
 
 class DeadlockError(RuntimeError):
@@ -95,6 +97,7 @@ class Core:
         predictor: Optional[BranchPredictor] = None,
         registers: Optional[Dict[str, int]] = None,
         trace: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.core_id = core_id
         self.program = program
@@ -136,6 +139,13 @@ class Core:
         # diagnostics
         self.trace_enabled = trace
         self.trace: List[DynInstr] = []
+        #: Structured event bus (:mod:`repro.trace`); None = tracing off,
+        #: in which case every emission site is a single attribute check.
+        self.tracer: Optional[Tracer] = tracer
+        self.lsu.tracer = tracer
+        self.cdb.tracer = tracer
+        for eu in self.eus:
+            eu.tracer = tracer
         self._last_progress_cycle = 0
         self.deadlock_window = 100_000
         #: Human-readable trial identity (victim/scheme/secret/seed),
@@ -154,6 +164,12 @@ class Core:
             raise ValueError("cycles must be monotonically increasing")
         self.cycle = cycle
         self.stats.cycles += 1
+        tracer = self.tracer
+        if tracer is not None:
+            # Context for components that don't know the cycle/core
+            # (CDB, MSHR files, caches); sound under lockstep stepping.
+            tracer.cycle = cycle
+            tracer.core = self.core_id
         if self.fault_injector is not None:
             self.fault_injector.on_core_cycle(self)
         if self.halted:
@@ -407,6 +423,13 @@ class Core:
             flags = self.safety_flags.get(entry.seq)
             if flags is not None and is_safe(model, flags):
                 entry.became_safe = True
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        EventKind.SCHEME_SAFE,
+                        cycle=self.cycle,
+                        seq=entry.seq,
+                        instr=entry.name,
+                    )
                 self.scheme.on_load_safe(self, entry)
 
     # ==================================================================
@@ -421,6 +444,13 @@ class Core:
             self.rob.pop_head()
             head.phase = Phase.RETIRED
             head.mark("retire", self.cycle)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventKind.COMMIT,
+                    cycle=self.cycle,
+                    seq=head.seq,
+                    instr=head.name,
+                )
             self._last_progress_cycle = self.cycle
             if head.is_store:
                 if head.addr is None:
@@ -469,6 +499,13 @@ class Core:
                 continue
             instr.phase = Phase.COMPLETED
             instr.mark("complete", self.cycle)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventKind.WRITEBACK,
+                    cycle=self.cycle,
+                    seq=instr.seq,
+                    instr=instr.name,
+                )
             if instr.static.dst is not None or instr.is_load:
                 self._scoreboard[instr.seq] = (instr.value, self.cycle)
             if instr.is_branch:
@@ -539,6 +576,15 @@ class Core:
         self.stats.squashes += 1
         self.stats.squashed_instrs += len(squashed) + len(fq_squashed)
         all_squashed = squashed + fq_squashed
+        if self.tracer is not None:
+            for instr in all_squashed:
+                self.tracer.emit(
+                    EventKind.SQUASH,
+                    cycle=self.cycle,
+                    seq=instr.seq,
+                    instr=instr.name,
+                    redirect=target,
+                )
         self.scheme.on_squash(self, all_squashed)
         if self.trace_enabled:
             self.trace.extend(squashed)
@@ -616,6 +662,32 @@ class Core:
         instr.phase = Phase.ISSUED
         instr.mark("issue", self.cycle)
         self.stats.issued += 1
+        tracer = self.tracer
+        if tracer is not None:
+            deps = ",".join(
+                str(src.producer_seq)
+                for src in instr.sources
+                if src.producer_seq is not None
+            )
+            if deps:
+                tracer.emit(
+                    EventKind.ISSUE,
+                    cycle=self.cycle,
+                    seq=instr.seq,
+                    instr=instr.name,
+                    port=instr.static.port,
+                    lat=latency,
+                    deps=deps,
+                )
+            else:
+                tracer.emit(
+                    EventKind.ISSUE,
+                    cycle=self.cycle,
+                    seq=instr.seq,
+                    instr=instr.name,
+                    port=instr.static.port,
+                    lat=latency,
+                )
 
     # ==================================================================
     # dispatch
@@ -645,6 +717,13 @@ class Core:
             self.rob.push(instr)
             instr.phase = Phase.DISPATCHED
             instr.mark("dispatch", self.cycle)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventKind.DISPATCH,
+                    cycle=self.cycle,
+                    seq=instr.seq,
+                    instr=instr.name,
+                )
             self.stats.dispatched += 1
             if needs_rs:
                 self.rs.insert(instr)
@@ -656,6 +735,15 @@ class Core:
             else:
                 instr.phase = Phase.COMPLETED
                 instr.mark("complete", self.cycle)
+                if self.tracer is not None:
+                    # No-RS micro-ops complete at dispatch; emit the
+                    # writeback so their lifecycle still closes.
+                    self.tracer.emit(
+                        EventKind.WRITEBACK,
+                        cycle=self.cycle,
+                        seq=instr.seq,
+                        instr=instr.name,
+                    )
                 if oc is OpClass.FENCE:
                     self._fences.add(instr.seq)
             budget -= 1
@@ -717,6 +805,14 @@ class Core:
             self._seq += 1
             dyn = DynInstr(seq=self._seq, slot=slot, static=static, pc_addr=pc_addr)
             dyn.mark("fetch", self.cycle)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EventKind.FETCH,
+                    cycle=self.cycle,
+                    seq=dyn.seq,
+                    instr=dyn.name,
+                    slot=slot,
+                )
             self.fetch_queue.append(dyn)
             self.stats.fetched += 1
             budget -= 1

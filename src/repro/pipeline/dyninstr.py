@@ -51,6 +51,10 @@ class DynInstr:
     exposure_done: bool = False
     #: The value delivered was a prediction awaiting validation.
     value_predicted: bool = False
+    #: Last scheme ``load_decision`` name seen by the LSU; the tracer
+    #: emits ``scheme.decision`` events only on transitions, so traces
+    #: are identical with idle fast-forward on or off.
+    last_decision: Optional[str] = None
     #: Event trace: stage name -> cycle.
     events: Dict[str, int] = field(default_factory=dict)
 

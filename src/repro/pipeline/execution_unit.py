@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.pipeline.config import PortConfig
 from repro.pipeline.dyninstr import DynInstr
+from repro.trace.events import EventKind
 
 
 @dataclass(slots=True)
@@ -35,6 +36,8 @@ class ExecutionUnit:
         self._accepted_this_cycle: Optional[int] = None
         self.issues = 0
         self.busy_cycles = 0
+        #: Optional :class:`repro.trace.Tracer`.  None = tracing off.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     @property
@@ -92,7 +95,18 @@ class ExecutionUnit:
             ]
         if self._in_flight:
             self.busy_cycles += 1
-        return [op.instr for op in sorted(done, key=lambda o: o.instr.seq)]
+        drained = [op.instr for op in sorted(done, key=lambda o: o.instr.seq)]
+        tracer = self.tracer
+        if tracer is not None:
+            for instr in drained:
+                tracer.emit(
+                    EventKind.EXECUTE,
+                    cycle=cycle,
+                    seq=instr.seq,
+                    instr=instr.name,
+                    port=self.port_index,
+                )
+        return drained
 
     def abort(self, instr: DynInstr) -> bool:
         """Kick an op off the unit (squash, or §5.4 'squashable EU')."""
@@ -133,6 +147,9 @@ class CommonDataBus:
         self._queue: List[DynInstr] = []
         self.broadcasts = 0
         self.stall_cycles = 0
+        #: Optional :class:`repro.trace.Tracer` (cycle comes from its
+        #: context, stamped by Core.step).  None = tracing off.
+        self.tracer = None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -153,6 +170,17 @@ class CommonDataBus:
         if self._queue:
             self.stall_cycles += 1
         self.broadcasts += len(granted)
+        tracer = self.tracer
+        if tracer is not None:
+            for slot, instr in enumerate(granted):
+                tracer.emit(
+                    EventKind.CDB_GRANT,
+                    seq=instr.seq,
+                    instr=instr.name,
+                    slot=slot,
+                    port=instr.static.port,
+                    waiting=len(self._queue),
+                )
         return granted
 
     def squash_younger_than(self, seq: int) -> List[DynInstr]:

@@ -22,6 +22,7 @@ from repro.memory.mshr import MSHRFile
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.dyninstr import DynInstr, Phase
 from repro.pipeline.scheme_api import LoadDecision, SpeculationScheme
+from repro.trace.events import EventKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.core import Core
@@ -66,6 +67,8 @@ class LoadStoreUnit:
         self.stats_invisible = 0
         self.stats_forwards = 0
         self.stats_predicted = 0
+        #: Optional :class:`repro.trace.Tracer`.  None = tracing off.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     @property
@@ -95,7 +98,31 @@ class LoadStoreUnit:
             )
         self._try_start(core, load, cycle)
 
-    def _try_start(self, core: "Core", load: DynInstr, cycle: int) -> None:
+    def _park(
+        self, load: DynInstr, state: str, prev: Optional[str], cycle: int
+    ) -> None:
+        """Park ``load`` in ``state``; emits a ``lsu.park`` event only on
+        a state *transition* (``prev`` is the state the load held before
+        this evaluation pass), so a load that stays parked is silent —
+        which keeps traces identical with idle fast-forward on or off."""
+        load.load_state = state
+        self._parked.append(load)
+        if self.tracer is not None and prev != state:
+            self.tracer.emit(
+                EventKind.LSU_PARK,
+                cycle=cycle,
+                seq=load.seq,
+                instr=load.name,
+                state=state,
+            )
+
+    def _try_start(
+        self,
+        core: "Core",
+        load: DynInstr,
+        cycle: int,
+        prev: Optional[str] = None,
+    ) -> None:
         """Memory disambiguation + forwarding, then the cache path.
 
         Conservative ordering: a load waits while *any* older store has
@@ -106,24 +133,37 @@ class LoadStoreUnit:
         match: Optional[DynInstr] = None
         for store in core.rob.older_stores(load.seq):
             if store.addr is None:
-                load.load_state = LS_PARKED_FWD
-                self._parked.append(load)
+                self._park(load, LS_PARKED_FWD, prev, cycle)
                 return
             if store.addr == load.addr:
                 match = store
         if match is not None:
             if match.value is None:
-                load.load_state = LS_PARKED_FWD
-                self._parked.append(load)
+                self._park(load, LS_PARKED_FWD, prev, cycle)
                 return
-            self._start_forward(load, match.value, cycle)
+            self._start_forward(load, match.value, cycle, store_seq=match.seq)
             return
-        self._evaluate(core, load, cycle)
+        self._evaluate(core, load, cycle, prev=prev)
 
-    def _start_forward(self, load: DynInstr, value: int, cycle: int) -> None:
+    def _start_forward(
+        self,
+        load: DynInstr,
+        value: int,
+        cycle: int,
+        *,
+        store_seq: Optional[int] = None,
+    ) -> None:
         load.value = value
         load.load_state = LS_INFLIGHT
         self.stats_forwards += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventKind.LSU_FORWARD,
+                cycle=cycle,
+                seq=load.seq,
+                instr=load.name,
+                store=store_seq,
+            )
         self._inflight.append(
             _InFlightLoad(
                 load,
@@ -134,13 +174,27 @@ class LoadStoreUnit:
             )
         )
 
-    def _evaluate(self, core: "Core", load: DynInstr, cycle: int) -> None:
+    def _evaluate(
+        self,
+        core: "Core",
+        load: DynInstr,
+        cycle: int,
+        prev: Optional[str] = None,
+    ) -> None:
         """Ask the scheme, check MSHRs, and start the access if allowed."""
         decision = self.scheme.load_decision(core, load, load.became_safe)
+        if self.tracer is not None and decision.name != load.last_decision:
+            self.tracer.emit(
+                EventKind.SCHEME_DECISION,
+                cycle=cycle,
+                seq=load.seq,
+                instr=load.name,
+                decision=decision.name,
+            )
+        load.last_decision = decision.name
         if decision is LoadDecision.DELAY:
             self.stats_delayed += 1
-            load.load_state = LS_PARKED_SCHEME
-            self._parked.append(load)
+            self._park(load, LS_PARKED_SCHEME, prev, cycle)
             return
         if decision is LoadDecision.PREDICT:
             # Value prediction: no memory request at all; the scheme
@@ -164,8 +218,7 @@ class LoadStoreUnit:
         needs_mshr = not self.hierarchy.l1_hit(self.core_id, load.addr)
         if needs_mshr and not self.mshrs.can_allocate(line):
             self.stats_mshr_blocked_cycles += 1
-            load.load_state = LS_PARKED_MSHR
-            self._parked.append(load)
+            self._park(load, LS_PARKED_MSHR, prev, cycle)
             return
         mshr_line = None
         if needs_mshr:
@@ -202,10 +255,11 @@ class LoadStoreUnit:
                 if not self._retry_forward(core, load, cycle):
                     self._parked.append(load)
                 continue
-            was_mshr = load.load_state == LS_PARKED_MSHR
+            was_state = load.load_state
+            was_mshr = was_state == LS_PARKED_MSHR
             load.load_state = None
             # _evaluate re-parks into self._parked when still blocked.
-            self._evaluate(core, load, cycle)
+            self._evaluate(core, load, cycle, prev=was_state)
             if was_mshr and load.load_state == LS_PARKED_MSHR:
                 self.stats_mshr_blocked_cycles += 1
 
@@ -217,7 +271,7 @@ class LoadStoreUnit:
             if store.addr == load.addr and store.value is None:
                 return False  # forwarding store's data not ready
         load.load_state = None
-        self._try_start(core, load, cycle)
+        self._try_start(core, load, cycle, prev=LS_PARKED_FWD)
         return load.load_state != LS_PARKED_FWD
 
     # ------------------------------------------------------------------

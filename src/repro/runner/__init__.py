@@ -39,6 +39,11 @@ from repro.runner.spec import (
     expand_grid,
 )
 from repro.runner.journal import TrialJournal
+from repro.runner.metrics_io import (
+    aggregate_from_file,
+    read_sweep_metrics,
+    write_sweep_metrics,
+)
 from repro.runner.runner import (
     ParallelSweepRunner,
     SerialSweepRunner,
@@ -67,4 +72,7 @@ __all__ = [
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",
+    "write_sweep_metrics",
+    "read_sweep_metrics",
+    "aggregate_from_file",
 ]

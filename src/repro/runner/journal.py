@@ -58,6 +58,7 @@ def summary_to_json(summary: TrialSummary) -> dict:
         "retired": summary.retired,
         "line_a": summary.line_a,
         "line_b": summary.line_b,
+        **({"metrics": summary.metrics} if summary.metrics is not None else {}),
     }
 
 
@@ -82,6 +83,7 @@ def summary_from_json(data: dict) -> TrialSummary:
         retired=data["retired"],
         line_a=data["line_a"],
         line_b=data["line_b"],
+        metrics=data.get("metrics"),
     )
 
 

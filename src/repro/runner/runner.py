@@ -90,6 +90,17 @@ def run_trial_spec(spec: TrialSpec, *, fault_injector=None) -> TrialSummary:
     from repro.core.victims import victim_by_name
 
     victim = victim_by_name(spec.victim, **dict(spec.victim_kwargs))
+    tracer = None
+    if spec.collect_metrics:
+        # Stage-filtered tracer: enough for the per-stage latency
+        # histograms, compact enough to carry through long sweeps.
+        # Tracing is observer-invariant (the differential invisibility
+        # test enforces it), so metrics collection never perturbs the
+        # trial's measurements.
+        from repro.trace import Tracer
+        from repro.trace.events import STAGE_KINDS
+
+        tracer = Tracer(kinds=STAGE_KINDS)
     result = run_victim_trial(
         victim,
         spec.scheme,
@@ -100,6 +111,7 @@ def run_trial_spec(spec: TrialSpec, *, fault_injector=None) -> TrialSummary:
         noise_pool=spec.noise_pool,
         seed=spec.seed,
         max_cycles=spec.max_cycles,
+        tracer=tracer,
         extra_lines=spec.extra_lines,
         fault_injector=fault_injector,
         sanitize=spec.sanitize,
@@ -110,6 +122,13 @@ def run_trial_spec(spec: TrialSpec, *, fault_injector=None) -> TrialSummary:
         raise RuntimeError(
             f"run_victim_trial returned no core handle for {spec.label()}"
         )
+    metrics = None
+    if spec.collect_metrics:
+        from repro.system.stats import machine_metrics
+
+        metrics = machine_metrics(
+            result.machine, events=tracer.events
+        ).to_json()
     return TrialSummary(
         victim=spec.victim,
         scheme=result.scheme,
@@ -121,6 +140,7 @@ def run_trial_spec(spec: TrialSpec, *, fault_injector=None) -> TrialSummary:
         retired=result.core.stats.retired,
         line_a=victim.line_a,
         line_b=victim.line_b,
+        metrics=metrics,
     )
 
 
@@ -236,16 +256,30 @@ class SweepRunner:
         specs: Sequence[TrialSpec],
         *,
         journal: Optional[TrialJournal] = None,
+        metrics_path: Optional[str] = None,
     ) -> SweepResult:
+        """Execute ``specs`` and return a :class:`SweepResult`.
+
+        ``metrics_path`` dumps the sweep's metrics as JSONL (one line
+        per succeeded trial plus an aggregate line) alongside whatever
+        journal is in use — see
+        :func:`repro.runner.metrics_io.write_sweep_metrics`.  Useful
+        only when specs set ``collect_metrics=True``.
+        """
         start = time.perf_counter()
         outcomes = self.run_outcomes(specs, journal=journal)
-        return SweepResult(
+        result = SweepResult(
             summaries=[o.summary for o in outcomes if o.ok],
             elapsed=time.perf_counter() - start,
             workers=self.workers,
             failures=[o for o in outcomes if not o.ok],
             outcomes=outcomes,
         )
+        if metrics_path is not None:
+            from repro.runner.metrics_io import write_sweep_metrics
+
+            write_sweep_metrics(metrics_path, result)
+        return result
 
     def close(self) -> None:
         """Release pool resources (no-op for the serial runner)."""

@@ -13,9 +13,12 @@ import enum
 import hashlib
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.memory.hierarchy import HierarchyConfig, VisibleAccess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -40,6 +43,12 @@ class TrialSpec:
     #: fast-forward) but any pipeline/scheme invariant breakage fails
     #: the trial instead of corrupting its measurements.
     sanitize: bool = False
+    #: Collect a hierarchical metrics registry for the trial (see
+    #: :func:`repro.system.stats.machine_metrics`): pipeline/cache/MSHR
+    #: counters plus per-stage latency histograms from a stage-filtered
+    #: trace.  The summary then carries ``metrics`` (the registry's
+    #: ``to_json`` form) and sweeps can aggregate across trials.
+    collect_metrics: bool = False
 
     def label(self) -> str:
         return f"{self.victim}/{self.scheme}/s{self.secret}"
@@ -76,6 +85,10 @@ class TrialSummary:
     #: Monitored (line_a, line_b) from the victim spec, when defined.
     line_a: Optional[int] = None
     line_b: Optional[int] = None
+    #: Hierarchical metrics for the trial in
+    #: :meth:`repro.trace.MetricsRegistry.to_json` form, when the spec
+    #: asked for them (``collect_metrics=True``); None otherwise.
+    metrics: Optional[Dict[str, object]] = None
 
     def first_access(self, line: int) -> Optional[int]:
         return self.access_cycle.get(line)
@@ -207,6 +220,26 @@ class SweepResult:
         for summary in self.summaries:
             grouped.setdefault(summary.scheme, []).append(summary)
         return grouped
+
+    def aggregate_metrics(self) -> "MetricsRegistry":
+        """Fold every summary's per-trial metrics into one registry.
+
+        Counters add, gauges keep the max, and each trial's histogram
+        summaries contribute their mean (see
+        :meth:`repro.trace.MetricsRegistry.merge_json`).  Summaries
+        without metrics (specs run with ``collect_metrics=False``)
+        contribute nothing; the result is empty if none had any.
+        """
+        # Imported here so the light spec module stays cheap for pool
+        # worker spin-up (repro.trace imports nothing from the
+        # simulator, but there is no reason to pay for it eagerly).
+        from repro.trace.metrics import MetricsRegistry
+
+        merged = MetricsRegistry()
+        for summary in self.summaries:
+            if summary.metrics is not None:
+                merged.merge_json(summary.metrics)
+        return merged
 
 
 def trial_seed(victim: str, scheme: str, secret: int, base_seed: int = 0) -> int:

@@ -43,6 +43,9 @@ class Machine:
         #: one disables idle fast-forwarding so a fault scheduled for
         #: cycle N fires exactly at N.
         self.fault_injector = None
+        #: Optional :class:`repro.trace.Tracer` wired in by
+        #: ``repro.trace.install_tracer(tracer, machine=...)``.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     def attach(
@@ -55,6 +58,7 @@ class Machine:
         predictor: Optional[BranchPredictor] = None,
         registers: Optional[Dict[str, int]] = None,
         trace: bool = False,
+        tracer=None,
     ) -> Core:
         """Create a core running ``program`` under ``scheme``."""
         if not 0 <= core_id < self.num_cores:
@@ -70,6 +74,7 @@ class Machine:
             predictor=predictor,
             registers=registers,
             trace=trace,
+            tracer=tracer or self.tracer,
         )
         self.cores[core_id] = core
         return core
@@ -91,6 +96,10 @@ class Machine:
     # ------------------------------------------------------------------
     def step(self) -> None:
         self.cycle += 1
+        if self.tracer is not None:
+            # Scheduled attacker/noise actions run before any core steps;
+            # give their hierarchy events the right cycle stamp.
+            self.tracer.cycle = self.cycle
         if self.fault_injector is not None:
             self.fault_injector.on_cycle(self)
         while self._scheduled and self._scheduled[0][0] <= self.cycle:

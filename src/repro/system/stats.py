@@ -4,16 +4,22 @@ Aggregates core pipeline counters and cache-hierarchy counters into a
 serializable report — the gem5-style ``stats.txt`` equivalent for this
 simulator.  Used by the workload benches and handy for downstream users
 profiling their own programs.
+
+:func:`machine_metrics` projects the same counters (plus per-stage
+latency histograms, when a trace is available) into a hierarchical
+:class:`repro.trace.MetricsRegistry`, which is what the sweep runner
+aggregates across trials and dumps as JSONL.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
 
-from repro.memory.hierarchy import CacheHierarchy
 from repro.pipeline.core import Core
 from repro.system.machine import Machine
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.metrics import MetricsRegistry
 
 
 @dataclass
@@ -174,3 +180,108 @@ def machine_report(machine: Machine) -> MachineReport:
         dram_reads=hierarchy.memory.reads,
         dram_writes=hierarchy.memory.writes,
     )
+
+
+# ----------------------------------------------------------------------
+# hierarchical metrics
+# ----------------------------------------------------------------------
+_CORE_COUNTERS = (
+    "cycles",
+    "fetched",
+    "dispatched",
+    "issued",
+    "retired",
+    "branches",
+    "mispredicts",
+    "squashes",
+    "squashed_instrs",
+    "icache_miss_stalls",
+    "fetch_stall_cycles",
+    "rs_full_stalls",
+    "rob_full_stalls",
+    "eu_preemptions",
+)
+
+#: Per-stage transitions turned into latency histograms when a trace is
+#: supplied: (metric name, from-kind, to-kind).
+_STAGE_LATENCIES = (
+    ("stage.fetch_to_dispatch", EventKind.FETCH, EventKind.DISPATCH),
+    ("stage.dispatch_to_issue", EventKind.DISPATCH, EventKind.ISSUE),
+    ("stage.issue_to_execute", EventKind.ISSUE, EventKind.EXECUTE),
+    ("stage.execute_to_writeback", EventKind.EXECUTE, EventKind.WRITEBACK),
+    ("stage.writeback_to_commit", EventKind.WRITEBACK, EventKind.COMMIT),
+)
+
+
+def _core_metrics(reg: MetricsRegistry, core: Core) -> None:
+    p = f"core{core.core_id}"
+    for name in _CORE_COUNTERS:
+        reg.inc(f"{p}.pipeline.{name}", getattr(core.stats, name))
+    lsu = core.lsu
+    reg.inc(f"{p}.lsu.delayed", lsu.stats_delayed)
+    reg.inc(f"{p}.lsu.mshr_blocked_cycles", lsu.stats_mshr_blocked_cycles)
+    reg.inc(f"{p}.lsu.invisible", lsu.stats_invisible)
+    reg.inc(f"{p}.lsu.forwards", lsu.stats_forwards)
+    reg.inc(f"{p}.lsu.predicted", lsu.stats_predicted)
+    for eu in core.eus:
+        ep = f"{p}.eu{eu.port_index}"
+        reg.inc(f"{ep}.issues", eu.issues)
+        reg.inc(f"{ep}.busy_cycles", eu.busy_cycles)
+    reg.inc(f"{p}.cdb.broadcasts", core.cdb.broadcasts)
+    reg.inc(f"{p}.cdb.stall_cycles", core.cdb.stall_cycles)
+    mshrs = core.hierarchy.l1d_mshrs[core.core_id]
+    reg.inc(f"{p}.mshr.allocations", mshrs.allocations)
+    reg.inc(f"{p}.mshr.coalesced", mshrs.coalesced)
+    reg.inc(f"{p}.mshr.rejections", mshrs.rejections)
+    reg.set_gauge(f"{p}.mshr.peak_occupancy", mshrs.peak_occupancy)
+
+
+def _stage_histograms(
+    reg: MetricsRegistry, events: Iterable[TraceEvent]
+) -> None:
+    """Per-stage latency histograms from a structured trace."""
+    cycles: Dict[tuple, Dict[EventKind, int]] = {}
+    for event in events:
+        if event.seq is None:
+            continue
+        key = (event.core, event.seq)
+        stages = cycles.setdefault(key, {})
+        if event.kind not in stages:  # first occurrence wins
+            stages[event.kind] = event.cycle
+    for (core, _seq), stages in cycles.items():
+        prefix = f"core{core if core is not None else 0}"
+        for name, src, dst in _STAGE_LATENCIES:
+            if src in stages and dst in stages:
+                reg.observe(f"{prefix}.{name}", stages[dst] - stages[src])
+
+
+def machine_metrics(
+    machine: Machine, events: Optional[Iterable[TraceEvent]] = None
+) -> MetricsRegistry:
+    """Project a finished machine run into a hierarchical registry.
+
+    Covers everything :func:`machine_report` reports — per-core pipeline
+    counters, per-EU/CDB/LSU/MSHR counters, per-cache-level counters,
+    DRAM traffic, visible LLC accesses — under dotted names, plus
+    per-stage latency histograms when ``events`` (a structured trace) is
+    supplied.  Registries merge across trials: see
+    :meth:`repro.trace.MetricsRegistry.merge`.
+    """
+    reg = MetricsRegistry()
+    hierarchy = machine.hierarchy
+    reg.set_gauge("machine.cycles", machine.cycle)
+    for _, core in sorted(machine.cores.items()):
+        _core_metrics(reg, core)
+    for cache in hierarchy.all_caches():
+        cp = f"cache.{cache.name}"
+        reg.inc(f"{cp}.hits", cache.stats.hits)
+        reg.inc(f"{cp}.misses", cache.stats.misses)
+        reg.inc(f"{cp}.fills", cache.stats.fills)
+        reg.inc(f"{cp}.evictions", cache.stats.evictions)
+        reg.inc(f"{cp}.invalidations", cache.stats.invalidations)
+    reg.inc("dram.reads", hierarchy.memory.reads)
+    reg.inc("dram.writes", hierarchy.memory.writes)
+    reg.inc("llc.visible_accesses", len(hierarchy.visible_log))
+    if events is not None:
+        _stage_histograms(reg, events)
+    return reg

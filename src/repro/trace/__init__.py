@@ -1,0 +1,66 @@
+"""Cycle-level observability: structured event tracing, metrics, export.
+
+The layer the rest of the repo builds timelines, golden-trace tests, and
+sweep metrics on:
+
+* :class:`~repro.trace.events.TraceEvent` / :class:`~repro.trace.events.
+  EventKind` — typed per-cycle events;
+* :class:`~repro.trace.bus.Tracer` + :func:`~repro.trace.bus.
+  install_tracer` — the event bus, free when uninstalled;
+* :class:`~repro.trace.metrics.MetricsRegistry` — hierarchical
+  counters/gauges/histograms with merge semantics for sweeps;
+* :mod:`~repro.trace.export` — JSONL and Chrome/Perfetto exporters;
+* :func:`~repro.trace.diff.first_divergence` — event-by-event trace
+  comparison (golden-trace regression, ``--diff`` CLI).
+
+``python -m repro.trace`` runs a victim/scheme and exports its trace.
+
+This package deliberately imports nothing from the simulator, so any
+module may depend on it without cycles; only the CLI (:mod:`repro.trace.
+__main__`) pulls in the pipeline.
+"""
+
+from repro.trace.bus import Tracer, install_tracer, install_tracer_on_core
+from repro.trace.diff import Divergence, first_divergence
+from repro.trace.events import (
+    CACHE_KINDS,
+    STAGE_KINDS,
+    EventKind,
+    TraceEvent,
+    event_from_json,
+    event_to_json,
+)
+from repro.trace.export import (
+    events_from_jsonl,
+    events_to_jsonl,
+    read_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.trace.metrics import Histogram, MetricsRegistry, merge_all
+
+__all__ = [
+    "CACHE_KINDS",
+    "STAGE_KINDS",
+    "Divergence",
+    "EventKind",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "Tracer",
+    "event_from_json",
+    "event_to_json",
+    "events_from_jsonl",
+    "events_to_jsonl",
+    "first_divergence",
+    "install_tracer",
+    "install_tracer_on_core",
+    "merge_all",
+    "read_jsonl",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,170 @@
+"""``python -m repro.trace`` — trace one victim run, export, or diff.
+
+Examples
+--------
+List the scheme decisions of the Figure 3 gadget under DoM::
+
+    python -m repro.trace run gdnpeu --scheme dom-nontso --secret 1 \
+        --kind scheme.decision --kind scheme.safe
+
+Open a gadget timeline in the Perfetto UI (https://ui.perfetto.dev)::
+
+    python -m repro.trace run gdnpeu --perfetto trace.json
+
+Diff two runs by their first divergent event::
+
+    python -m repro.trace run gdnpeu --secret 0 --jsonl s0.jsonl
+    python -m repro.trace run gdnpeu --secret 1 --jsonl s1.jsonl
+    python -m repro.trace diff s0.jsonl s1.jsonl
+
+This module is the only part of :mod:`repro.trace` that imports the
+simulator; the library modules stay import-light so the runner's pool
+workers and the exporters never pay for pipeline construction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.trace.bus import Tracer
+from repro.trace.diff import first_divergence
+from repro.trace.events import EventKind
+from repro.trace.export import read_jsonl, write_chrome_trace, write_jsonl
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Structured cycle-level tracing for the simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="trace one victim trial and list/export its events"
+    )
+    run.add_argument("victim", help="victim registry name (e.g. gdnpeu)")
+    run.add_argument("--scheme", default="dom-nontso", help="scheme registry name")
+    run.add_argument("--secret", type=int, default=1, choices=(0, 1))
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--kind",
+        action="append",
+        metavar="KIND",
+        help="keep only this event kind (repeatable); "
+        f"one of: {', '.join(k.value for k in EventKind)}",
+    )
+    run.add_argument(
+        "--instr", help="keep only events of this instruction name"
+    )
+    run.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="print at most N events (default: all)",
+    )
+    run.add_argument("--jsonl", metavar="PATH", help="write events as JSONL")
+    run.add_argument(
+        "--perfetto", metavar="PATH",
+        help="write a Chrome trace-event JSON for ui.perfetto.dev",
+    )
+    run.add_argument(
+        "--ascii", action="store_true",
+        help="render the ASCII pipeline timeline instead of the event list",
+    )
+    run.add_argument(
+        "--metrics", action="store_true",
+        help="print the hierarchical metrics registry for the run",
+    )
+
+    diff = sub.add_parser(
+        "diff", help="compare two JSONL traces by first divergent event"
+    )
+    diff.add_argument("left", help="baseline trace (JSONL)")
+    diff.add_argument("right", help="candidate trace (JSONL)")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    # Simulator imports live here so `diff` (and library users) never
+    # pay for them.
+    from repro.core.harness import run_victim_trial
+    from repro.core.victims import victim_by_name
+
+    try:
+        victim = victim_by_name(args.victim)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kinds = None
+    if args.kind:
+        try:
+            kinds = [EventKind(k) for k in args.kind]
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    tracer = Tracer()
+    result = run_victim_trial(
+        victim, args.scheme, args.secret, seed=args.seed, tracer=tracer
+    )
+    events = tracer.filtered(kinds=kinds, instr=args.instr)
+    print(
+        f"# {args.victim}/{args.scheme}/s{args.secret} seed={args.seed}: "
+        f"{result.cycles} cycles, {len(tracer)} events "
+        f"({len(events)} after filters)",
+        file=sys.stderr,
+    )
+    if args.jsonl:
+        write_jsonl(events, args.jsonl)
+        print(f"# wrote {len(events)} events to {args.jsonl}", file=sys.stderr)
+    if args.perfetto:
+        write_chrome_trace(events, args.perfetto)
+        print(
+            f"# wrote Chrome trace to {args.perfetto} "
+            "(open at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    if args.metrics:
+        import json
+
+        from repro.system.stats import machine_metrics
+
+        doc = machine_metrics(result.machine, events=tracer.events).to_json()
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    if args.ascii:
+        from repro.analysis.timeline import render_timeline, timeline_rows
+
+        title = f"{args.victim} / {args.scheme} / secret={args.secret}"
+        print(render_timeline(timeline_rows(events), title=title))
+    elif not (args.jsonl or args.perfetto or args.metrics):
+        shown = events if args.limit is None else events[: args.limit]
+        for event in shown:
+            print(event.describe())
+        if args.limit is not None and len(events) > args.limit:
+            print(f"... ({len(events) - args.limit} more)", file=sys.stderr)
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    try:
+        left = read_jsonl(args.left)
+        right = read_jsonl(args.right)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    div = first_divergence(left, right)
+    if div is None:
+        print(f"traces identical ({len(left)} events)")
+        return 0
+    print(div.describe(left_name=args.left, right_name=args.right))
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_diff(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

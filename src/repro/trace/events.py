@@ -1,0 +1,167 @@
+"""Typed per-cycle trace events.
+
+One :class:`TraceEvent` records one microarchitectural happening at one
+cycle: a pipeline-stage transition, a cache lookup outcome, an MSHR
+allocation, a scheme decision, a CDB grant.  Events are immutable,
+hashable, cheap to compare, and round-trip losslessly through the JSONL
+encoding (:func:`event_to_json` / :func:`event_from_json`) — that
+round-trip is what the golden-trace regression suite diffs against.
+
+Payload values (``args``) are restricted to JSON scalars (``int``,
+``str``, ``bool``, ``None``) so every event serializes canonically and
+two traces can be compared event-by-event without tolerance rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+#: Payload scalar type admitted in :attr:`TraceEvent.args`.
+Scalar = Union[int, str, bool, None]
+
+
+class EventKind(str, enum.Enum):
+    """Every event type the instrumented simulator can emit.
+
+    ``str``-valued so kinds JSON-serialize as their wire names and
+    compare against plain strings (``event.kind == "issue"``).
+    """
+
+    # -- pipeline stages (per dynamic instruction) ---------------------
+    FETCH = "fetch"            # frontend created the dynamic instruction
+    DISPATCH = "dispatch"      # entered ROB (+ RS when it needs one)
+    ISSUE = "issue"            # RS granted an execution port
+    EXECUTE = "execute"        # execution finished on the unit
+    WRITEBACK = "writeback"    # result broadcast on the CDB; completed
+    COMMIT = "commit"          # retired at the ROB head
+    SQUASH = "squash"          # killed by a mispredict / replay
+
+    # -- memory hierarchy ----------------------------------------------
+    CACHE_HIT = "cache.hit"
+    CACHE_MISS = "cache.miss"
+    CACHE_FILL = "cache.fill"
+    CACHE_EVICT = "cache.evict"
+    MSHR_ALLOC = "mshr.alloc"
+    MSHR_RELEASE = "mshr.release"
+
+    # -- load/store unit -----------------------------------------------
+    LSU_PARK = "lsu.park"          # load parked (scheme/MSHR/forwarding)
+    LSU_FORWARD = "lsu.forward"    # store-to-load forward started
+
+    # -- speculation scheme --------------------------------------------
+    SCHEME_DECISION = "scheme.decision"  # load_decision() transition
+    SCHEME_SAFE = "scheme.safe"          # load left all spec. shadows
+
+    # -- shared resources ----------------------------------------------
+    CDB_GRANT = "cdb.grant"    # result won a broadcast slot this cycle
+
+
+#: The per-instruction lifecycle kinds, in pipeline order.
+STAGE_KINDS: Tuple[EventKind, ...] = (
+    EventKind.FETCH,
+    EventKind.DISPATCH,
+    EventKind.ISSUE,
+    EventKind.EXECUTE,
+    EventKind.WRITEBACK,
+    EventKind.COMMIT,
+    EventKind.SQUASH,
+)
+
+#: Cache-level kinds (the most voluminous; golden traces may exclude).
+CACHE_KINDS: Tuple[EventKind, ...] = (
+    EventKind.CACHE_HIT,
+    EventKind.CACHE_MISS,
+    EventKind.CACHE_FILL,
+    EventKind.CACHE_EVICT,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One structured event at one simulated cycle.
+
+    ``args`` is a sorted tuple of ``(key, scalar)`` pairs — not a dict —
+    so events are hashable and two semantically equal events compare
+    equal regardless of payload construction order.
+    """
+
+    cycle: int
+    kind: EventKind
+    core: Optional[int] = None
+    #: Dynamic instruction sequence number, when the event has one.
+    seq: Optional[int] = None
+    #: Display name of the instruction, when the event has one.
+    instr: Optional[str] = None
+    args: Tuple[Tuple[str, Scalar], ...] = ()
+
+    # ------------------------------------------------------------------
+    def arg(self, key: str, default: Scalar = None) -> Scalar:
+        for k, v in self.args:
+            if k == key:
+                return v
+        return default
+
+    @property
+    def argdict(self) -> Dict[str, Scalar]:
+        return dict(self.args)
+
+    def describe(self) -> str:
+        """One-line human rendering (CLI listing, diff messages)."""
+        parts = [f"cycle {self.cycle}", self.kind.value]
+        if self.core is not None:
+            parts.insert(1, f"core {self.core}")
+        if self.seq is not None:
+            parts.append(f"#{self.seq}")
+        if self.instr is not None:
+            parts.append(repr(self.instr))
+        if self.args:
+            parts.append(
+                "{" + ", ".join(f"{k}={v!r}" for k, v in self.args) + "}"
+            )
+        return " ".join(parts)
+
+
+def make_args(mapping: Mapping[str, Any]) -> Tuple[Tuple[str, Scalar], ...]:
+    """Canonicalize a payload mapping into the sorted-pair form."""
+    return tuple(sorted(mapping.items()))
+
+
+# ----------------------------------------------------------------------
+# JSONL encoding
+# ----------------------------------------------------------------------
+def event_to_json(event: TraceEvent) -> Dict[str, Any]:
+    """Compact JSON object form; ``None`` fields and empty args are
+    omitted so golden-trace lines stay short."""
+    data: Dict[str, Any] = {"t": event.cycle, "k": event.kind.value}
+    if event.core is not None:
+        data["c"] = event.core
+    if event.seq is not None:
+        data["s"] = event.seq
+    if event.instr is not None:
+        data["i"] = event.instr
+    if event.args:
+        data["a"] = dict(event.args)
+    return data
+
+
+def event_from_json(data: Mapping[str, Any]) -> TraceEvent:
+    """Inverse of :func:`event_to_json` (raises on unknown kinds)."""
+    return TraceEvent(
+        cycle=data["t"],
+        kind=EventKind(data["k"]),
+        core=data.get("c"),
+        seq=data.get("s"),
+        instr=data.get("i"),
+        args=make_args(data.get("a", {})),
+    )
+
+
+def coerce_kinds(
+    kinds: Optional[Iterable[Union[EventKind, str]]]
+) -> Optional[frozenset]:
+    """Normalize a kind filter (names or members) to EventKind members."""
+    if kinds is None:
+        return None
+    return frozenset(EventKind(k) for k in kinds)

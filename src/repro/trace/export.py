@@ -1,0 +1,395 @@
+"""Trace exporters: JSONL and Chrome trace-event / Perfetto JSON.
+
+JSONL is the archival format (golden traces, sweep artifacts): one
+compact JSON object per line, lossless round-trip with
+:mod:`repro.trace.events`.
+
+The Chrome trace-event export targets ``ui.perfetto.dev`` /
+``chrome://tracing``: each core becomes a process, each pipeline stage
+(Frontend, RS, one row per EU port, LSU/CDB, ROB) a thread/track, the
+memory system a separate process with one track per cache level plus an
+MSHR-occupancy counter.  Per-instruction stage spans are ``X`` complete
+events, squashes and scheme decisions are ``i`` instants, and data
+dependencies become ``s``/``f`` flow arrows from the producer's
+writeback to the consumer's issue — the visual signature of the paper's
+Fig. 3 cascade.
+
+One simulated cycle maps to one microsecond of trace time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.trace.events import (
+    EventKind,
+    TraceEvent,
+    event_from_json,
+    event_to_json,
+)
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Serialize events to JSONL text (one event per line)."""
+    return "".join(
+        json.dumps(event_to_json(e), separators=(",", ":"), sort_keys=True)
+        + "\n"
+        for e in events
+    )
+
+
+def events_from_jsonl(text: str) -> List[TraceEvent]:
+    """Parse JSONL text back into events (blank lines are skipped)."""
+    out = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            out.append(event_from_json(json.loads(line)))
+    return out
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(events_to_jsonl(events))
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return events_from_jsonl(fh.read())
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event / Perfetto
+# ----------------------------------------------------------------------
+#: Trace time scale: one simulated cycle rendered as one microsecond.
+US_PER_CYCLE = 1
+
+_MEMORY_PID = 1000
+
+# Stable thread ids inside each core's process, in display order.
+_TID_FRONTEND = 0
+_TID_RS = 1
+_TID_EU_BASE = 10  # + port number
+_TID_LSU = 40
+_TID_ROB = 41
+_TID_EVENTS = 42  # squash / scheme / CDB instant markers
+
+
+class _InstrLife:
+    """Stage cycles collected for one dynamic instruction."""
+
+    __slots__ = ("name", "stages", "ports", "deps", "squashed_at")
+
+    def __init__(self) -> None:
+        self.name: Optional[str] = None
+        self.stages: Dict[EventKind, List[int]] = {}
+        self.ports: List[int] = []  # port of each ISSUE, positionally
+        self.deps: List[int] = []   # producer seqs (from the ISSUE event)
+        self.squashed_at: Optional[int] = None
+
+    def add(self, event: TraceEvent) -> None:
+        if event.instr is not None:
+            self.name = event.instr
+        self.stages.setdefault(event.kind, []).append(event.cycle)
+        if event.kind is EventKind.ISSUE:
+            port = event.arg("port")
+            if isinstance(port, int):
+                self.ports.append(port)
+            deps = event.arg("deps")
+            if isinstance(deps, str) and deps:
+                try:
+                    self.deps = [int(s) for s in deps.split(",")]
+                except ValueError:
+                    self.deps = []  # malformed payload: skip the arrows
+        elif event.kind is EventKind.SQUASH:
+            self.squashed_at = event.cycle
+
+    def first(self, kind: EventKind) -> Optional[int]:
+        cycles = self.stages.get(kind)
+        return cycles[0] if cycles else None
+
+    def last(self, kind: EventKind) -> Optional[int]:
+        cycles = self.stages.get(kind)
+        return cycles[-1] if cycles else None
+
+
+def _span(
+    name: str,
+    start: int,
+    end: int,
+    pid: int,
+    tid: int,
+    args: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    ev: Dict[str, Any] = {
+        "name": name,
+        "ph": "X",
+        "ts": start * US_PER_CYCLE,
+        "dur": max(0, (end - start)) * US_PER_CYCLE,
+        "pid": pid,
+        "tid": tid,
+    }
+    if args:
+        ev["args"] = args
+    return ev
+
+
+def _instant(
+    name: str,
+    cycle: int,
+    pid: int,
+    tid: int,
+    args: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    ev: Dict[str, Any] = {
+        "name": name,
+        "ph": "i",
+        "ts": cycle * US_PER_CYCLE,
+        "pid": pid,
+        "tid": tid,
+        "s": "t",
+    }
+    if args:
+        ev["args"] = args
+    return ev
+
+
+def _meta(name: str, pid: int, tid: Optional[int], label: str) -> Dict[str, Any]:
+    ev: Dict[str, Any] = {
+        "name": name,
+        "ph": "M",
+        "ts": 0,
+        "pid": pid,
+        "args": {"name": label},
+    }
+    if tid is not None:
+        ev["tid"] = tid
+    return ev
+
+
+def to_chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, Any]:
+    """Convert a trace to a Chrome trace-event JSON document."""
+    out: List[Dict[str, Any]] = []
+    lives: Dict[Tuple[int, int], _InstrLife] = {}
+    cores: Dict[int, set] = {}
+    mem_tids: Dict[str, int] = {}
+    memory_used = False
+
+    def mem_tid(label: str) -> int:
+        nonlocal memory_used
+        memory_used = True
+        if label not in mem_tids:
+            tid = len(mem_tids)
+            mem_tids[label] = tid
+            out.append(_meta("thread_name", _MEMORY_PID, tid, label))
+        return mem_tids[label]
+
+    def core_tid(core: int, tid: int, label: str) -> int:
+        seen = cores.setdefault(core, set())
+        if tid not in seen:
+            seen.add(tid)
+            if len(seen) == 1:
+                out.append(_meta("process_name", core, None, f"Core {core}"))
+            out.append(_meta("thread_name", core, tid, label))
+        return tid
+
+    for event in events:
+        core = event.core if event.core is not None else 0
+        kind = event.kind
+        if event.seq is not None and kind not in (
+            EventKind.CACHE_HIT,
+            EventKind.CACHE_MISS,
+            EventKind.CACHE_FILL,
+            EventKind.CACHE_EVICT,
+            EventKind.MSHR_ALLOC,
+            EventKind.MSHR_RELEASE,
+        ):
+            lives.setdefault((core, event.seq), _InstrLife()).add(event)
+        if kind in (
+            EventKind.CACHE_HIT,
+            EventKind.CACHE_MISS,
+            EventKind.CACHE_FILL,
+            EventKind.CACHE_EVICT,
+        ):
+            cache = event.arg("cache", "cache")
+            out.append(
+                _instant(
+                    f"{kind.value.split('.')[1]} {event.arg('line', event.arg('addr'))}",
+                    event.cycle,
+                    _MEMORY_PID,
+                    mem_tid(str(cache)),
+                    event.argdict,
+                )
+            )
+        elif kind in (EventKind.MSHR_ALLOC, EventKind.MSHR_RELEASE):
+            tid = mem_tid(f"MSHR core {core}")
+            occ = event.arg("occ")
+            if isinstance(occ, int):
+                out.append(
+                    {
+                        "name": f"mshr-occupancy core {core}",
+                        "ph": "C",
+                        "ts": event.cycle * US_PER_CYCLE,
+                        "pid": _MEMORY_PID,
+                        "tid": tid,
+                        "args": {"occupancy": occ},
+                    }
+                )
+            out.append(
+                _instant(
+                    kind.value, event.cycle, _MEMORY_PID, tid, event.argdict
+                )
+            )
+        elif kind in (
+            EventKind.SQUASH,
+            EventKind.SCHEME_DECISION,
+            EventKind.SCHEME_SAFE,
+            EventKind.LSU_PARK,
+            EventKind.LSU_FORWARD,
+            EventKind.CDB_GRANT,
+        ):
+            tid = core_tid(core, _TID_EVENTS, "events")
+            label = kind.value
+            if event.instr is not None:
+                label = f"{kind.value} {event.instr}"
+            out.append(_instant(label, event.cycle, core, tid, event.argdict))
+
+    # -- per-instruction stage spans -----------------------------------
+    flow_id = 0
+    writeback_of: Dict[Tuple[int, int], int] = {}
+    for (core, seq), life in lives.items():
+        wb = life.last(EventKind.WRITEBACK)
+        if wb is not None:
+            writeback_of[(core, seq)] = wb
+    for (core, seq), life in sorted(lives.items()):
+        name = life.name or f"#{seq}"
+        fetch = life.first(EventKind.FETCH)
+        dispatch = life.first(EventKind.DISPATCH)
+        commit = life.last(EventKind.COMMIT)
+        wb = life.last(EventKind.WRITEBACK)
+        issues = life.stages.get(EventKind.ISSUE, [])
+        executes = life.stages.get(EventKind.EXECUTE, [])
+        if fetch is not None and dispatch is not None:
+            tid = core_tid(core, _TID_FRONTEND, "Frontend")
+            out.append(_span(name, fetch, dispatch, core, tid, {"seq": seq}))
+        if dispatch is not None and issues:
+            tid = core_tid(core, _TID_RS, "RS wait")
+            out.append(_span(name, dispatch, issues[0], core, tid, {"seq": seq}))
+        for i, issue in enumerate(issues):
+            port = life.ports[i] if i < len(life.ports) else None
+            end = executes[i] if i < len(executes) else issue
+            tid_n = _TID_EU_BASE + (port if port is not None else 0)
+            label = f"EU p{port}" if port is not None else "EU"
+            tid = core_tid(core, tid_n, label)
+            out.append(_span(name, issue, end, core, tid, {"seq": seq}))
+        if executes and wb is not None and wb > executes[-1]:
+            tid = core_tid(core, _TID_LSU, "LSU / CDB")
+            out.append(_span(name, executes[-1], wb, core, tid, {"seq": seq}))
+        if wb is not None and commit is not None:
+            tid = core_tid(core, _TID_ROB, "ROB wait")
+            out.append(_span(name, wb, commit, core, tid, {"seq": seq}))
+        # Dependency flow arrows: producer writeback -> consumer issue.
+        if issues and life.deps:
+            tid = core_tid(core, _TID_RS, "RS wait")
+            for producer in life.deps:
+                src = writeback_of.get((core, producer))
+                if src is None:
+                    continue
+                flow_id += 1
+                out.append(
+                    {
+                        "name": "dep",
+                        "cat": "dep",
+                        "ph": "s",
+                        "id": flow_id,
+                        "ts": src * US_PER_CYCLE,
+                        "pid": core,
+                        "tid": core_tid(core, _TID_LSU, "LSU / CDB"),
+                    }
+                )
+                out.append(
+                    {
+                        "name": "dep",
+                        "cat": "dep",
+                        "ph": "f",
+                        "bp": "e",
+                        "id": flow_id,
+                        "ts": issues[0] * US_PER_CYCLE,
+                        "pid": core,
+                        "tid": tid,
+                    }
+                )
+    if memory_used:
+        out.append(_meta("process_name", _MEMORY_PID, None, "Memory system"))
+
+    # Metadata first (ts 0), then everything sorted by timestamp so the
+    # document is monotonic — some consumers require it.
+    meta = [e for e in out if e["ph"] == "M"]
+    body = sorted(
+        (e for e in out if e["ph"] != "M"), key=lambda e: (e["ts"], e["pid"])
+    )
+    return {"traceEvents": meta + body, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Sequence[TraceEvent], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(events), fh)
+
+
+_VALID_PHASES = {"X", "i", "s", "f", "M", "C"}
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Schema-check an exported document; returns a list of problems
+    (empty = valid).  Used by the Hypothesis round-trip tests."""
+    problems: List[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["document must be a dict with a 'traceEvents' list"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    last_ts: Optional[int] = None
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _VALID_PHASES:
+            problems.append(f"{where}: bad phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: missing/invalid name")
+        ts = ev.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            problems.append(f"{where}: missing/invalid ts")
+            continue
+        if not isinstance(ev.get("pid"), int):
+            problems.append(f"{where}: missing/invalid pid")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                problems.append(f"{where}: X event needs dur >= 0")
+        if ph in ("s", "f") and "id" not in ev:
+            problems.append(f"{where}: flow event needs an id")
+        if ph == "M":
+            continue  # metadata is pinned at ts 0, outside the ordering
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"{where}: timestamp {ts} < previous {last_ts} "
+                "(not monotonic)"
+            )
+        last_ts = ts
+    return problems

@@ -1,0 +1,174 @@
+"""Hierarchical metrics registry: counters, gauges, histograms.
+
+Replaces flat ad-hoc stats dicts with dotted hierarchical names
+(``core0.pipeline.retired``, ``cache.LLC.hits``,
+``core0.stage.issue_to_execute`` ...).  Registries merge, which is how
+:mod:`repro.runner` aggregates metrics across sweep trials, and
+serialize to plain JSON for the sweep-metrics JSONL dump.
+
+Merge semantics: counters add, gauges keep the max (they record peaks —
+occupancy high-water marks), histograms pool their samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Union
+
+Number = Union[int, float]
+
+
+@dataclass(slots=True)
+class Histogram:
+    """Sample-keeping histogram; summarized (not dumped raw) in JSON."""
+
+    samples: List[Number] = field(default_factory=list)
+
+    def observe(self, value: Number) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def percentile(self, q: float) -> Number:
+        """Nearest-rank percentile, q in [0, 100]."""
+        if not self.samples:
+            raise ValueError("empty histogram")
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, Number]:
+        if not self.samples:
+            return {"count": 0}
+        total = sum(self.samples)
+        return {
+            "count": len(self.samples),
+            "sum": total,
+            "mean": total / len(self.samples),
+            "min": min(self.samples),
+            "max": max(self.samples),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Dotted-name registry of counters, gauges, and histograms."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Number] = {}
+        self.gauges: Dict[str, Number] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- recording -----------------------------------------------------
+    def inc(self, name: str, value: Number = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: Number) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # -- reading -------------------------------------------------------
+    def counter(self, name: str, default: Number = 0) -> Number:
+        return self.counters.get(name, default)
+
+    def gauge(self, name: str, default: Number = 0) -> Number:
+        return self.gauges.get(name, default)
+
+    def histogram(self, name: str) -> Histogram:
+        return self.histograms.setdefault(name, Histogram())
+
+    def names(self) -> List[str]:
+        return sorted(
+            set(self.counters) | set(self.gauges) | set(self.histograms)
+        )
+
+    def subtree(self, prefix: str) -> "MetricsRegistry":
+        """New registry holding only metrics under ``prefix.``."""
+        dotted = prefix.rstrip(".") + "."
+        out = MetricsRegistry()
+        out.counters = {
+            k: v for k, v in self.counters.items() if k.startswith(dotted)
+        }
+        out.gauges = {
+            k: v for k, v in self.gauges.items() if k.startswith(dotted)
+        }
+        out.histograms = {
+            k: Histogram(list(v.samples))
+            for k, v in self.histograms.items()
+            if k.startswith(dotted)
+        }
+        return out
+
+    def as_flat_dict(self) -> Dict[str, Number]:
+        """Counters + gauges + histogram means, one flat mapping."""
+        flat: Dict[str, Number] = dict(self.counters)
+        flat.update(self.gauges)
+        for name, hist in self.histograms.items():
+            if hist.count:
+                flat[f"{name}.mean"] = sum(hist.samples) / hist.count
+            flat[f"{name}.count"] = hist.count
+        return flat
+
+    # -- merging / serialization ---------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (in place); returns self."""
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        for name, value in other.gauges.items():
+            self.gauges[name] = max(self.gauges.get(name, value), value)
+        for name, hist in other.histograms.items():
+            self.histogram(name).samples.extend(hist.samples)
+        return self
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-JSON form; histograms are summarized, not raw."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: hist.summary()
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    def merge_json(self, data: Mapping[str, Any]) -> "MetricsRegistry":
+        """Fold a :meth:`to_json` document into this registry.
+
+        Histogram summaries cannot be un-summarized, so each one
+        contributes its *mean* once per source trial — enough for
+        cross-trial distributions of per-trial means."""
+        for name, value in data.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in data.get("gauges", {}).items():
+            self.gauges[name] = max(self.gauges.get(name, value), value)
+        for name, summ in data.get("histograms", {}).items():
+            if summ.get("count"):
+                self.observe(name, summ["mean"])
+        return self
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, histograms={len(self.histograms)})"
+        )
+
+
+def merge_all(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:
+    out = MetricsRegistry()
+    for reg in registries:
+        out.merge(reg)
+    return out

@@ -7,6 +7,16 @@ import pytest
 from repro.memory.hierarchy import HierarchyConfig, LevelConfig
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--refresh-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden trace files under tests/data/golden_traces/ "
+        "from the current simulator instead of diffing against them",
+    )
+
+
 def small_hierarchy_config(**overrides) -> HierarchyConfig:
     """A fast hierarchy for unit tests (attack-relevant shape intact:
     16-way QLRU LLC, finite MSHRs)."""

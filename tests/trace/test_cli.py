@@ -1,0 +1,100 @@
+"""End-to-end tests for the ``python -m repro.trace`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.trace.__main__ import main
+from repro.trace.export import read_jsonl, validate_chrome_trace
+
+
+def test_run_lists_filtered_events(capsys):
+    rc = main(["run", "gdnpeu", "--kind", "scheme.decision"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    lines = [ln for ln in out.splitlines() if ln]
+    assert lines, "expected at least one scheme.decision event"
+    assert all("scheme.decision" in ln for ln in lines)
+
+
+def test_run_limit(capsys):
+    rc = main(["run", "gdnpeu", "--limit", "5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert len([ln for ln in out.splitlines() if ln]) == 5
+
+
+def test_run_instr_filter(capsys):
+    rc = main(["run", "gdnpeu", "--instr", "transmitter"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.strip()
+    assert all("transmitter" in ln for ln in out.splitlines() if ln)
+
+
+def test_run_writes_jsonl_and_perfetto(tmp_path):
+    jsonl = tmp_path / "t.jsonl"
+    perfetto = tmp_path / "t.json"
+    rc = main(
+        ["run", "gdnpeu", "--jsonl", str(jsonl), "--perfetto", str(perfetto)]
+    )
+    assert rc == 0
+    events = read_jsonl(str(jsonl))
+    assert len(events) > 0
+    doc = json.loads(perfetto.read_text())
+    assert validate_chrome_trace(doc) == []
+    assert len(doc["traceEvents"]) > 0
+
+
+def test_run_ascii_renders_timeline(capsys):
+    rc = main(["run", "gdnpeu", "--ascii"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out
+    assert "R" in out  # retire markers
+
+
+def test_run_metrics_prints_registry(capsys):
+    rc = main(["run", "gdnpeu", "--metrics"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["counters"]["core0.pipeline.retired"] > 0
+    assert "core0.stage.dispatch_to_issue" in doc["histograms"]
+
+
+def test_run_unknown_victim_fails_cleanly(capsys):
+    rc = main(["run", "no-such-victim"])
+    assert rc == 2
+    assert "unknown victim" in capsys.readouterr().err
+
+
+def test_run_unknown_kind_fails_cleanly(capsys):
+    rc = main(["run", "gdnpeu", "--kind", "bogus"])
+    assert rc == 2
+
+
+def test_diff_identical_and_divergent(tmp_path, capsys):
+    s0 = tmp_path / "s0.jsonl"
+    s1 = tmp_path / "s1.jsonl"
+    assert main(["run", "gdnpeu", "--secret", "0", "--jsonl", str(s0)]) == 0
+    assert main(["run", "gdnpeu", "--secret", "1", "--jsonl", str(s1)]) == 0
+    capsys.readouterr()
+
+    assert main(["diff", str(s0), str(s0)]) == 0
+    assert "identical" in capsys.readouterr().out
+
+    assert main(["diff", str(s0), str(s1)]) == 1
+    assert "diverge" in capsys.readouterr().out
+
+
+def test_diff_missing_file(capsys):
+    rc = main(["diff", "/nonexistent/a.jsonl", "/nonexistent/b.jsonl"])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

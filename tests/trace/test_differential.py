@@ -1,0 +1,65 @@
+"""Differential invisibility: tracing must not perturb the simulation.
+
+The whole observability layer rests on the emit paths being read-only:
+a traced trial and an untraced trial of the same spec must be
+*bit-identical* in everything the simulator reports — total cycles,
+the channel (first visible access per monitored line, i.e. the secret
+bits the attacks decode), the visible-access log, and every counter in
+the metrics projection.  This is checked across every registered
+scheme, both secrets, and five seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.harness import run_victim_trial
+from repro.core.victims import victim_by_name
+from repro.schemes import scheme_names
+from repro.system.stats import machine_metrics
+from repro.trace import Tracer
+
+SEEDS = range(5)
+
+
+def _run(scheme: str, secret: int, seed: int, tracer):
+    result = run_victim_trial(
+        victim_by_name("gdnpeu"),
+        scheme,
+        secret,
+        seed=seed,
+        tracer=tracer,
+    )
+    return result
+
+
+@pytest.mark.parametrize("scheme", scheme_names())
+@pytest.mark.parametrize("secret", (0, 1))
+def test_tracing_is_invisible(scheme, secret):
+    for seed in SEEDS:
+        plain = _run(scheme, secret, seed, tracer=None)
+        tracer = Tracer()
+        traced = _run(scheme, secret, seed, tracer=tracer)
+        label = f"{scheme}/s{secret}/seed{seed}"
+        assert traced.cycles == plain.cycles, label
+        assert traced.access_cycle == plain.access_cycle, label
+        assert traced.visible == plain.visible, label
+        # Full counter/gauge projection, so no stat drifts silently.
+        assert (
+            machine_metrics(traced.machine).to_json()
+            == machine_metrics(plain.machine).to_json()
+        ), label
+        # And the traced run actually traced something.
+        assert len(tracer.events) > 0, label
+
+
+def test_untraced_trial_reports_no_events():
+    result = _run("dom-nontso", 1, 0, tracer=None)
+    assert result.events == []
+
+
+def test_traced_trial_exposes_events_property():
+    tracer = Tracer()
+    result = _run("dom-nontso", 1, 0, tracer=tracer)
+    assert result.events is tracer.events
+    assert len(result.events) > 0

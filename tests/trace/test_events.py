@@ -1,0 +1,118 @@
+"""Unit tests for the event model and the tracer bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import EventKind, TraceEvent, Tracer
+from repro.trace.events import (
+    coerce_kinds,
+    event_from_json,
+    event_to_json,
+    make_args,
+)
+
+
+class TestTraceEvent:
+    def test_args_canonical_order(self):
+        a = TraceEvent(5, EventKind.ISSUE, args=make_args({"b": 1, "a": 2}))
+        b = TraceEvent(5, EventKind.ISSUE, args=make_args({"a": 2, "b": 1}))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_arg_lookup(self):
+        ev = TraceEvent(1, EventKind.CACHE_HIT, args=make_args({"line": 64}))
+        assert ev.arg("line") == 64
+        assert ev.arg("missing") is None
+        assert ev.arg("missing", 7) == 7
+        assert ev.argdict == {"line": 64}
+
+    def test_describe_mentions_fields(self):
+        ev = TraceEvent(
+            42, EventKind.SQUASH, core=0, seq=9, instr="gadget0",
+            args=make_args({"redirect": 12}),
+        )
+        text = ev.describe()
+        assert "cycle 42" in text
+        assert "squash" in text
+        assert "#9" in text
+        assert "gadget0" in text
+        assert "redirect" in text
+
+    def test_json_round_trip(self):
+        ev = TraceEvent(
+            7, EventKind.MSHR_ALLOC, core=2, seq=3, instr="ld",
+            args=make_args({"line": 128, "coalesced": False, "occ": 1}),
+        )
+        assert event_from_json(event_to_json(ev)) == ev
+
+    def test_json_omits_empty_fields(self):
+        data = event_to_json(TraceEvent(3, EventKind.FETCH))
+        assert data == {"t": 3, "k": "fetch"}
+
+    def test_from_json_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            event_from_json({"t": 0, "k": "not-a-kind"})
+
+
+class TestCoerceKinds:
+    def test_accepts_members_and_names(self):
+        got = coerce_kinds(["issue", EventKind.COMMIT])
+        assert got == frozenset({EventKind.ISSUE, EventKind.COMMIT})
+
+    def test_none_passthrough(self):
+        assert coerce_kinds(None) is None
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            coerce_kinds(["bogus"])
+
+
+class TestTracer:
+    def test_emit_uses_context_defaults(self):
+        t = Tracer()
+        t.cycle = 11
+        t.core = 1
+        t.emit(EventKind.CACHE_MISS, line=64)
+        (ev,) = t.events
+        assert ev.cycle == 11
+        assert ev.core == 1
+        assert ev.arg("line") == 64
+
+    def test_explicit_fields_override_context(self):
+        t = Tracer()
+        t.cycle = 11
+        t.emit(EventKind.COMMIT, cycle=99, core=2, seq=5, instr="x")
+        assert t.events[0].cycle == 99
+        assert t.events[0].core == 2
+
+    def test_kind_filter_drops_at_emit(self):
+        t = Tracer(kinds=[EventKind.COMMIT])
+        t.emit(EventKind.FETCH, seq=1)
+        t.emit(EventKind.COMMIT, seq=1)
+        assert [e.kind for e in t.events] == [EventKind.COMMIT]
+
+    def test_sink_sees_kept_events(self):
+        seen = []
+        t = Tracer(kinds=["commit"], sink=seen.append)
+        t.emit(EventKind.FETCH, seq=1)
+        t.emit(EventKind.COMMIT, seq=1)
+        assert seen == t.events
+
+    def test_filtered_view(self):
+        t = Tracer()
+        t.emit(EventKind.ISSUE, cycle=1, seq=1, instr="a")
+        t.emit(EventKind.ISSUE, cycle=2, seq=2, instr="b")
+        t.emit(EventKind.COMMIT, cycle=3, seq=1, instr="a")
+        assert len(t.filtered(kinds=["issue"])) == 2
+        assert len(t.filtered(instr="a")) == 2
+        assert len(t.filtered(seq=2)) == 1
+        assert len(t.filtered(kinds=["issue"], instr="a")) == 1
+
+    def test_clear_and_len(self):
+        t = Tracer()
+        t.emit(EventKind.FETCH)
+        assert len(t) == 1
+        t.clear()
+        assert len(t) == 0
+        assert list(t) == []

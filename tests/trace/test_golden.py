@@ -1,0 +1,133 @@
+"""Golden-trace regression suite for the Figure 3/4/5 scenarios.
+
+Each golden file under ``tests/data/golden_traces/`` is the full
+structured event stream of one attack trial (victim x scheme x secret,
+seed 0).  The test re-runs the trial and diffs event-by-event: any
+change to pipeline timing, scheme decisions, cache behaviour or the
+instrumentation itself shows up as a readable first-divergence message
+(e.g. "cycle 41 -> 42 for EXECUTE of 'f0'").
+
+To bless intentional changes::
+
+    pytest tests/trace/test_golden.py --refresh-golden
+
+The perturbation tests at the bottom prove the suite has teeth: a
+1-cycle change to one EU latency must be flagged at the right first
+divergent event.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.harness import run_victim_trial
+from repro.core.victims import victim_by_name
+from repro.trace import EventKind, Tracer, first_divergence
+from repro.trace.export import read_jsonl, write_jsonl
+
+GOLDEN_DIR = Path(__file__).parent.parent / "data" / "golden_traces"
+
+#: (figure, victim, scheme) — each traced for both secrets at seed 0.
+GOLDEN_SCENARIOS = [
+    ("fig3", "gdnpeu", "dom-nontso"),
+    ("fig4", "gdmshr", "invisispec-spectre"),
+    ("fig5", "girs", "dom-nontso"),
+]
+
+GOLDEN_CASES = [
+    (fig, victim, scheme, secret)
+    for fig, victim, scheme in GOLDEN_SCENARIOS
+    for secret in (0, 1)
+]
+
+
+def golden_path(fig: str, victim: str, scheme: str, secret: int) -> Path:
+    return GOLDEN_DIR / f"{fig}_{victim}_{scheme}_s{secret}.jsonl"
+
+
+def trace_trial(victim: str, scheme: str, secret: int, **victim_kwargs):
+    tracer = Tracer()
+    run_victim_trial(
+        victim_by_name(victim, **victim_kwargs),
+        scheme,
+        secret,
+        seed=0,
+        tracer=tracer,
+    )
+    return tracer.events
+
+
+@pytest.mark.parametrize("fig,victim,scheme,secret", GOLDEN_CASES)
+def test_golden_trace(request, fig, victim, scheme, secret):
+    path = golden_path(fig, victim, scheme, secret)
+    live = trace_trial(victim, scheme, secret)
+    if request.config.getoption("--refresh-golden"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_jsonl(live, path)
+        return
+    if not path.exists():
+        pytest.fail(
+            f"golden trace {path.name} missing; generate it with "
+            "pytest tests/trace/test_golden.py --refresh-golden"
+        )
+    golden = read_jsonl(path)
+    div = first_divergence(golden, live)
+    if div is not None:
+        pytest.fail(
+            f"{path.name}: "
+            + div.describe(left_name="golden", right_name="live")
+        )
+
+
+class TestSuiteHasTeeth:
+    """A deliberate 1-cycle perturbation must be caught, at the right
+    event."""
+
+    def test_eu_latency_bump_flagged_at_first_issue(self):
+        baseline = trace_trial("gdnpeu", "dom-nontso", 1)
+        perturbed = trace_trial("gdnpeu", "dom-nontso", 1, f_latency=16)
+        div = first_divergence(baseline, perturbed)
+        assert div is not None, "a changed EU latency must diverge the trace"
+        # The very first trace of latency 15 -> 16 is the ISSUE event
+        # that grants the contended non-pipelined port: its ``lat``
+        # payload records the new occupancy before any cycle shifts.
+        assert div.left is not None and div.right is not None
+        assert div.left.kind is EventKind.ISSUE
+        assert div.left.cycle == div.right.cycle
+        assert div.left.arg("lat") == 15
+        assert div.right.arg("lat") == 16
+        message = div.describe(left_name="golden", right_name="live")
+        assert "payload changed" in message and "golden" in message
+
+    def test_eu_latency_bump_shifts_execute_timing(self):
+        baseline = trace_trial("gdnpeu", "dom-nontso", 1)
+        perturbed = trace_trial("gdnpeu", "dom-nontso", 1, f_latency=16)
+
+        def first_execute(events, name):
+            return next(
+                e.cycle
+                for e in events
+                if e.kind is EventKind.EXECUTE and e.instr == name
+            )
+
+        # And the downstream consequence: the perturbed occupant of the
+        # non-pipelined port finishes execution one cycle later.
+        assert (
+            first_execute(perturbed, "gadget0")
+            == first_execute(baseline, "gadget0") + 1
+        )
+
+    def test_dropped_event_flagged_as_early_end(self):
+        baseline = trace_trial("gdnpeu", "dom-nontso", 1)
+        div = first_divergence(baseline, baseline[:-1])
+        assert div is not None
+        assert div.index == len(baseline) - 1
+        assert div.right is None
+        assert "ended" in div.describe()
+
+    def test_identical_rerun_is_clean(self):
+        a = trace_trial("gdnpeu", "dom-nontso", 1)
+        b = trace_trial("gdnpeu", "dom-nontso", 1)
+        assert first_divergence(a, b) is None

@@ -1,0 +1,154 @@
+"""Unit tests for the hierarchical metrics registry and its projection
+from a finished machine run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.harness import run_victim_trial
+from repro.core.victims import victim_by_name
+from repro.system.stats import machine_metrics
+from repro.trace import MetricsRegistry, Tracer, merge_all
+from repro.trace.metrics import Histogram
+
+
+class TestHistogram:
+    def test_summary_of_empty(self):
+        assert Histogram().summary() == {"count": 0}
+
+    def test_percentile_nearest_rank(self):
+        h = Histogram()
+        for v in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+            h.observe(v)
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 10
+        assert h.percentile(50) in (5, 6)
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(50)
+
+    def test_summary_fields(self):
+        h = Histogram()
+        for v in (2, 4, 6):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["sum"] == 12
+        assert s["mean"] == 4
+        assert s["min"] == 2 and s["max"] == 6
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        r = MetricsRegistry()
+        r.inc("a.b")
+        r.inc("a.b", 4)
+        assert r.counter("a.b") == 5
+        assert r.counter("missing") == 0
+
+    def test_gauges_overwrite(self):
+        r = MetricsRegistry()
+        r.set_gauge("peak", 3)
+        r.set_gauge("peak", 2)
+        assert r.gauge("peak") == 2
+
+    def test_merge_semantics(self):
+        a = MetricsRegistry()
+        a.inc("n", 2)
+        a.set_gauge("peak", 5)
+        a.observe("lat", 10)
+        b = MetricsRegistry()
+        b.inc("n", 3)
+        b.set_gauge("peak", 4)
+        b.observe("lat", 20)
+        a.merge(b)
+        assert a.counter("n") == 5          # counters add
+        assert a.gauge("peak") == 5         # gauges keep the max
+        assert a.histogram("lat").samples == [10, 20]  # histograms pool
+
+    def test_merge_all(self):
+        regs = []
+        for _ in range(3):
+            r = MetricsRegistry()
+            r.inc("n")
+            regs.append(r)
+        assert merge_all(regs).counter("n") == 3
+
+    def test_to_json_merge_json_round_trip(self):
+        a = MetricsRegistry()
+        a.inc("n", 2)
+        a.set_gauge("peak", 5)
+        for v in (10, 20, 30):
+            a.observe("lat", v)
+        doc = a.to_json()
+        b = MetricsRegistry()
+        b.merge_json(doc)
+        b.merge_json(doc)
+        assert b.counter("n") == 4
+        assert b.gauge("peak") == 5
+        # Summaries cannot be un-summarized: each source trial
+        # contributes its mean once.
+        assert b.histogram("lat").samples == [20, 20]
+
+    def test_subtree(self):
+        r = MetricsRegistry()
+        r.inc("core0.retired", 1)
+        r.inc("core1.retired", 2)
+        r.set_gauge("core0.peak", 3)
+        sub = r.subtree("core0")
+        assert sub.counter("core0.retired") == 1
+        assert sub.counter("core1.retired") == 0
+        assert sub.gauge("core0.peak") == 3
+
+    def test_as_flat_dict(self):
+        r = MetricsRegistry()
+        r.inc("n", 2)
+        r.observe("lat", 4)
+        flat = r.as_flat_dict()
+        assert flat["n"] == 2
+        assert flat["lat.mean"] == 4
+        assert flat["lat.count"] == 1
+
+    def test_names_and_len(self):
+        r = MetricsRegistry()
+        r.inc("b")
+        r.set_gauge("a", 1)
+        r.observe("c", 1)
+        assert r.names() == ["a", "b", "c"]
+        assert len(r) == 3
+
+
+class TestMachineMetrics:
+    @pytest.fixture(scope="class")
+    def traced_trial(self):
+        tracer = Tracer()
+        result = run_victim_trial(
+            victim_by_name("gdnpeu"), "dom-nontso", 1, tracer=tracer
+        )
+        return result, tracer
+
+    def test_counters_match_report(self, traced_trial):
+        result, tracer = traced_trial
+        reg = machine_metrics(result.machine, events=tracer.events)
+        core = result.core
+        assert reg.counter("core0.pipeline.retired") == core.stats.retired
+        assert reg.counter("core0.pipeline.cycles") == core.stats.cycles
+        assert reg.gauge("machine.cycles") == result.cycles
+        llc = result.machine.hierarchy.llc
+        assert reg.counter("cache.LLC.hits") == llc.stats.hits
+        assert reg.counter("cache.LLC.misses") == llc.stats.misses
+
+    def test_stage_histograms_present(self, traced_trial):
+        result, tracer = traced_trial
+        reg = machine_metrics(result.machine, events=tracer.events)
+        d2i = reg.histogram("core0.stage.dispatch_to_issue")
+        assert d2i.count > 0
+        assert all(v >= 0 for v in d2i.samples)
+        w2c = reg.histogram("core0.stage.writeback_to_commit")
+        assert w2c.count > 0
+
+    def test_no_events_no_histograms(self, traced_trial):
+        result, _ = traced_trial
+        reg = machine_metrics(result.machine)
+        assert not reg.histograms

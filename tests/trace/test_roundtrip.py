@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis): codec round-trips and exporter
+schema validity over arbitrary event sequences.
+
+The domain mirrors what the instrumented simulator can emit: cycles are
+non-negative, payload values are JSON scalars, kinds come from
+:class:`EventKind`.  Within that domain *any* sequence must survive the
+JSONL round-trip losslessly, and the Chrome trace exporter must always
+produce a schema-valid, monotonically timestamped document — even for
+orderings the simulator would never produce.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.trace import (
+    EventKind,
+    TraceEvent,
+    first_divergence,
+    validate_chrome_trace,
+)
+from repro.trace.events import make_args
+from repro.trace.export import (
+    events_from_jsonl,
+    events_to_jsonl,
+    to_chrome_trace,
+)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(max_size=16),
+)
+
+arg_tuples = st.dictionaries(
+    st.text(min_size=1, max_size=10), scalars, max_size=4
+).map(make_args)
+
+events = st.builds(
+    TraceEvent,
+    cycle=st.integers(min_value=0, max_value=10**9),
+    kind=st.sampled_from(list(EventKind)),
+    core=st.one_of(st.none(), st.integers(min_value=0, max_value=7)),
+    seq=st.one_of(st.none(), st.integers(min_value=0, max_value=10**6)),
+    instr=st.one_of(st.none(), st.text(max_size=12)),
+    args=arg_tuples,
+)
+
+event_lists = st.lists(events, max_size=40)
+
+
+class TestJsonlRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(seq=event_lists)
+    def test_lossless(self, seq):
+        assert events_from_jsonl(events_to_jsonl(seq)) == seq
+
+    @settings(max_examples=60, deadline=None)
+    @given(seq=event_lists)
+    def test_round_trip_has_no_divergence(self, seq):
+        decoded = events_from_jsonl(events_to_jsonl(seq))
+        assert first_divergence(seq, decoded) is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(seq=event_lists)
+    def test_one_object_per_line(self, seq):
+        text = events_to_jsonl(seq)
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        assert len(lines) == len(seq)
+
+
+class TestChromeExport:
+    @settings(max_examples=100, deadline=None)
+    @given(seq=event_lists)
+    def test_always_schema_valid(self, seq):
+        doc = to_chrome_trace(seq)
+        assert validate_chrome_trace(doc) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(seq=event_lists)
+    def test_body_timestamps_monotonic(self, seq):
+        doc = to_chrome_trace(seq)
+        body_ts = [
+            ev["ts"] for ev in doc["traceEvents"] if ev["ph"] != "M"
+        ]
+        assert body_ts == sorted(body_ts)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seq=event_lists)
+    def test_json_serializable(self, seq):
+        import json
+
+        json.dumps(to_chrome_trace(seq))
+
+
+class TestFirstDivergenceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(seq=event_lists)
+    def test_identical_traces_never_diverge(self, seq):
+        assert first_divergence(seq, list(seq)) is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(seq=event_lists, extra=events)
+    def test_length_mismatch_detected(self, seq, extra):
+        div = first_divergence(seq, seq + [extra])
+        assert div is not None
+        assert div.index == len(seq)
+        assert div.left is None and div.right == extra

@@ -1,0 +1,81 @@
+"""The trace-driven timeline must reproduce the legacy bookkeeping's
+rows exactly, for every Figure 3/4/5 scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.timeline import (
+    _rows_from_instrs,
+    render_timeline,
+    rows_from_events,
+    timeline_rows,
+)
+from repro.core.harness import run_victim_trial
+from repro.core.victims import victim_by_name
+from repro.trace import Tracer
+
+SCENARIOS = [
+    ("gdnpeu", "dom-nontso"),
+    ("gdmshr", "invisispec-spectre"),
+    ("girs", "dom-nontso"),
+]
+
+
+def _traced(victim, scheme, secret):
+    # trace=True keeps the legacy core.trace list AND installs a
+    # structured tracer, so both row sources exist for the same run.
+    return run_victim_trial(
+        victim_by_name(victim), scheme, secret, trace=True
+    )
+
+
+@pytest.mark.parametrize("victim,scheme", SCENARIOS)
+@pytest.mark.parametrize("secret", (0, 1))
+def test_event_rows_match_legacy_rows(victim, scheme, secret):
+    result = _traced(victim, scheme, secret)
+    from_events = rows_from_events(result.events)
+    legacy = _rows_from_instrs(result.core.trace)
+    assert from_events == legacy
+
+
+def test_timeline_rows_prefers_tracer_on_core():
+    result = _traced("gdnpeu", "dom-nontso", 1)
+    assert result.core.tracer is not None
+    rows = timeline_rows(result.core)
+    assert rows == rows_from_events(result.events)
+
+
+def test_timeline_rows_accepts_tracer_and_event_iterable():
+    tracer = Tracer()
+    result = run_victim_trial(
+        victim_by_name("gdnpeu"), "dom-nontso", 1, tracer=tracer
+    )
+    from_tracer = timeline_rows(tracer)
+    from_list = timeline_rows(list(tracer.events))
+    assert from_tracer == from_list == rows_from_events(result.events)
+
+
+def test_name_filter_applies_to_event_rows():
+    result = _traced("gdnpeu", "dom-nontso", 1)
+    rows = timeline_rows(result.core, names=["gadget"])
+    assert rows
+    assert all(r.name.startswith("gadget") for r in rows)
+
+
+def test_render_from_event_rows():
+    result = _traced("gdnpeu", "dom-nontso", 1)
+    text = render_timeline(timeline_rows(result.core), title="fig3")
+    assert "fig3" in text
+    assert "gadget0" in text
+    assert "x" in text  # the squashed transient gadget
+
+
+def test_squashed_rows_require_dispatch():
+    # Fetch-queue squashes never reached the ROB and must not appear,
+    # matching the legacy core.trace population.
+    result = _traced("gdnpeu", "dom-nontso", 1)
+    rows = rows_from_events(result.events)
+    for row in rows:
+        if row.squashed:
+            assert row.dispatch is not None
