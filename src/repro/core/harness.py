@@ -146,7 +146,35 @@ def prepare_machine(
     return machine, core, scheme_obj
 
 
-def run_victim_trial(
+@dataclass
+class TrialSetup:
+    """A fully prepared but not-yet-run victim trial.
+
+    Produced by :func:`begin_victim_trial`; consumed by
+    :func:`finish_victim_trial`.  The split exists for the snapshot/fork
+    engine (:mod:`repro.snapshot.fork`), which prepares one trial,
+    simulates the shared prefix, captures the machine, and then finishes
+    N restored variants — each through the same observation code the
+    cold path uses.
+    """
+
+    spec: VictimSpec
+    scheme_obj: SpeculationScheme
+    #: Mutable: the fork engine overwrites this per variant after poking
+    #: the restored machine's memory, so the result is labeled correctly.
+    secret: int
+    seed: int
+    machine: Machine
+    core: Core
+    agent: AttackerAgent
+    sanitizer: Optional[object]
+    log_start: int
+    reference_accesses: Sequence[Tuple[int, int]]
+    extra_lines: Sequence[int]
+    max_cycles: int
+
+
+def begin_victim_trial(
     spec: VictimSpec,
     scheme: Union[str, SpeculationScheme],
     secret: int,
@@ -163,23 +191,13 @@ def run_victim_trial(
     extra_lines: Sequence[int] = (),
     fault_injector=None,
     sanitize: bool = False,
-) -> TrialResult:
-    """Run one prepared victim to completion and observe the LLC log.
+) -> TrialSetup:
+    """Prepare a victim trial without running it.
 
-    ``reference_accesses`` are the attacker's fixed-time "clock" accesses
-    of §3.3 (``(address, cycle)`` pairs, issued from the attacker core).
-
-    ``fault_injector`` (a :class:`repro.runner.faults.FaultInjector`) is
-    installed on the machine for deterministic fault-injection tests; it
-    disables idle fast-forwarding so injected faults land cycle-exactly.
-
-    ``sanitize`` attaches a
-    :class:`~repro.staticcheck.sanitizer.InvariantSanitizer` to the
-    victim core: every cycle is checked against the pipeline/scheme
-    invariants and the first violation raises
-    :class:`~repro.staticcheck.sanitizer.InvariantViolation`.  Like a
-    fault injector, the hook disables idle fast-forwarding, so sanitized
-    runs are slower but cycle-exact.
+    Performs everything :func:`run_victim_trial` does before the first
+    simulated cycle: machine construction, cache priming/flushing,
+    predictor mistraining, attacker scheduling, noise wiring, and the
+    visible-log bookmark.
     """
     if secret not in (0, 1):
         raise ValueError("secret must be a bit")
@@ -224,29 +242,113 @@ def run_victim_trial(
     machine.hierarchy.memory.reseed(seed + 1)
 
     log_start = len(machine.hierarchy.visible_log)
+    return TrialSetup(
+        spec=spec,
+        scheme_obj=scheme_obj,
+        secret=secret,
+        seed=seed,
+        machine=machine,
+        core=core,
+        agent=agent,
+        sanitizer=sanitizer,
+        log_start=log_start,
+        reference_accesses=reference_accesses,
+        extra_lines=extra_lines,
+        max_cycles=max_cycles,
+    )
+
+
+def finish_victim_trial(
+    setup: TrialSetup, *, max_cycles: Optional[int] = None
+) -> TrialResult:
+    """Run a prepared (or restored) trial to completion and observe it.
+
+    ``max_cycles`` overrides the setup's budget — the fork engine passes
+    the *remaining* budget after the shared prefix, so a forked variant
+    obeys exactly the cold trial's horizon.
+    """
+    machine, core = setup.machine, setup.core
     # The halt predicate only changes inside step(), so idle-cycle
     # fast-forwarding is exact here (and disables itself automatically
     # while a noise injector's cycle hook is attached).
     machine.run(
-        until=lambda: core.halted, max_cycles=max_cycles, fast_forward=True
+        until=lambda: core.halted,
+        max_cycles=setup.max_cycles if max_cycles is None else max_cycles,
+        fast_forward=True,
     )
-    window = machine.hierarchy.log_since(log_start)
+    window = machine.hierarchy.log_since(setup.log_start)
 
-    monitored = list(spec.monitored_lines()) + [
-        addr & ~(LINE - 1) for addr, _ in reference_accesses
-    ] + [line & ~(LINE - 1) for line in extra_lines]
+    monitored = list(setup.spec.monitored_lines()) + [
+        addr & ~(LINE - 1) for addr, _ in setup.reference_accesses
+    ] + [line & ~(LINE - 1) for line in setup.extra_lines]
     access_cycle: Dict[int, Optional[int]] = {}
     for line in monitored:
         access_cycle[line] = next(
             (e.cycle for e in window if e.line == line), None
         )
     return TrialResult(
-        secret=secret,
-        scheme=scheme_obj.name,
+        secret=setup.secret,
+        scheme=setup.scheme_obj.name,
         cycles=machine.cycle,
         access_cycle=access_cycle,
         visible=window,
         machine=machine,
         core=core,
-        sanitizer=sanitizer,
+        sanitizer=setup.sanitizer,
+    )
+
+
+def run_victim_trial(
+    spec: VictimSpec,
+    scheme: Union[str, SpeculationScheme],
+    secret: int,
+    *,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+    core_config: Optional[CoreConfig] = None,
+    reference_accesses: Sequence[Tuple[int, int]] = (),
+    noise_rate: float = 0.0,
+    noise_pool: Sequence[int] = (),
+    seed: int = 0,
+    max_cycles: int = 20_000,
+    trace: bool = False,
+    tracer: Optional[Tracer] = None,
+    extra_lines: Sequence[int] = (),
+    fault_injector=None,
+    sanitize: bool = False,
+) -> TrialResult:
+    """Run one prepared victim to completion and observe the LLC log.
+
+    ``reference_accesses`` are the attacker's fixed-time "clock" accesses
+    of §3.3 (``(address, cycle)`` pairs, issued from the attacker core).
+
+    ``fault_injector`` (a :class:`repro.runner.faults.FaultInjector`) is
+    installed on the machine for deterministic fault-injection tests; it
+    disables idle fast-forwarding so injected faults land cycle-exactly.
+
+    ``sanitize`` attaches a
+    :class:`~repro.staticcheck.sanitizer.InvariantSanitizer` to the
+    victim core: every cycle is checked against the pipeline/scheme
+    invariants and the first violation raises
+    :class:`~repro.staticcheck.sanitizer.InvariantViolation`.  Like a
+    fault injector, the hook disables idle fast-forwarding, so sanitized
+    runs are slower but cycle-exact.
+    """
+    return finish_victim_trial(
+        begin_victim_trial(
+            spec,
+            scheme,
+            secret,
+            hierarchy_config=hierarchy_config,
+            core_config=core_config,
+            reference_accesses=reference_accesses,
+            noise_rate=noise_rate,
+            noise_pool=noise_pool,
+            seed=seed,
+            max_cycles=max_cycles,
+            trace=trace,
+            tracer=tracer,
+            extra_lines=extra_lines,
+            fault_injector=fault_injector,
+            sanitize=sanitize,
+        )
     )

@@ -11,7 +11,7 @@ on and the interference attacks bypass.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.memory.address import AddressLayout
@@ -21,11 +21,20 @@ from repro.trace.events import EventKind
 
 @dataclass
 class CacheStats:
-    hits: int = 0
-    misses: int = 0
-    fills: int = 0
-    evictions: int = 0
-    invalidations: int = 0
+    __slots__ = ("hits", "misses", "fills", "evictions", "invalidations")
+
+    hits: int
+    misses: int
+    fills: int
+    evictions: int
+    invalidations: int
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.evictions = 0
+        self.invalidations = 0
 
     def reset(self) -> None:
         self.hits = 0
@@ -65,6 +74,9 @@ class _CacheSet:
 class Cache:
     """A single cache level (state only; no latency)."""
 
+    SNAP_VERSION = 1
+    SNAP_SCHEMA = ("sets(lines,policy_state)", "stats(5)")
+
     def __init__(
         self,
         name: str,
@@ -94,6 +106,12 @@ class Cache:
             _CacheSet(num_ways, make_policy(policy, num_ways, rng=rng))
             for _ in range(total_sets)
         ]
+        # Hot-path bindings: access()/fill()/contains() run once per
+        # simulated memory reference, so resolve the layout arithmetic
+        # (line mask, memoized global-set lookup) once here instead of
+        # through two attribute hops per call.
+        self._line_mask = ~(line_size - 1)
+        self._global_set = self.layout.global_set
         self.stats = CacheStats()
         #: Called with the evicted line address on every eviction
         #: (the hierarchy uses it to enforce LLC inclusivity).
@@ -104,17 +122,19 @@ class Cache:
 
     # ------------------------------------------------------------------
     def _set_for(self, addr: int) -> _CacheSet:
-        return self._sets[self.layout.global_set(addr)]
+        return self._sets[self._global_set(addr)]
 
     def contains(self, addr: int) -> bool:
         """Pure lookup: no state change, no stats."""
-        line = self.layout.line_addr(addr)
-        return self._set_for(addr).way_of(line) is not None
+        return (
+            self._sets[self._global_set(addr)].way_of(addr & self._line_mask)
+            is not None
+        )
 
     def access(self, addr: int, *, update: bool = True) -> bool:
         """Lookup; returns hit.  ``update=False`` leaves metadata untouched."""
-        line = self.layout.line_addr(addr)
-        cset = self._set_for(addr)
+        line = addr & self._line_mask
+        cset = self._sets[self._global_set(addr)]
         way = cset.way_of(line)
         tracer = self.tracer
         if way is None:
@@ -142,8 +162,8 @@ class Cache:
         A fill of a line that is already resident is treated as a
         metadata touch (policies see a hit).
         """
-        line = self.layout.line_addr(addr)
-        cset = self._set_for(addr)
+        line = addr & self._line_mask
+        cset = self._sets[self._global_set(addr)]
         way = cset.way_of(line)
         if way is not None:
             if update:
@@ -221,6 +241,41 @@ class Cache:
         return [
             line for cset in self._sets for line in cset.lines if line is not None
         ]
+
+    # -- snapshot -------------------------------------------------------
+    def capture(self) -> Tuple:
+        """Flat state tuple: per-set (lines, policy state) plus stats.
+
+        Geometry and the policy objects themselves are construction-time
+        configuration; only line contents, replacement metadata, and the
+        counters are mutable.
+        """
+        return (
+            tuple(
+                (tuple(cset.lines), cset.policy.snapshot_state())
+                for cset in self._sets
+            ),
+            (
+                self.stats.hits,
+                self.stats.misses,
+                self.stats.fills,
+                self.stats.evictions,
+                self.stats.invalidations,
+            ),
+        )
+
+    def restore(self, state: Tuple) -> None:
+        sets_state, stats = state
+        for cset, (lines, policy_state) in zip(self._sets, sets_state):
+            cset.lines[:] = lines
+            cset.policy.restore_state(policy_state)
+        (
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.fills,
+            self.stats.evictions,
+            self.stats.invalidations,
+        ) = stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

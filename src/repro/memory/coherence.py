@@ -28,14 +28,30 @@ class CoherenceState(enum.Enum):
 
 @dataclass
 class CoherenceStats:
-    invalidations_sent: int = 0
-    downgrades: int = 0
-    upgrades: int = 0
-    writeback_penalties: int = 0
+    __slots__ = (
+        "invalidations_sent",
+        "downgrades",
+        "upgrades",
+        "writeback_penalties",
+    )
+
+    invalidations_sent: int
+    downgrades: int
+    upgrades: int
+    writeback_penalties: int
+
+    def __init__(self) -> None:
+        self.invalidations_sent = 0
+        self.downgrades = 0
+        self.upgrades = 0
+        self.writeback_penalties = 0
 
 
 class CoherenceDirectory:
     """Directory of data-line sharers and their MESI states."""
+
+    SNAP_VERSION = 1
+    SNAP_SCHEMA = ("sharers(line,core,state)", "stats(4)")
 
     def __init__(self, num_cores: int, *, writeback_penalty: int = 30) -> None:
         if num_cores < 1:
@@ -124,3 +140,28 @@ class CoherenceDirectory:
         if CoherenceState.MODIFIED in states or CoherenceState.EXCLUSIVE in states:
             return len(states) == 1
         return True
+
+    # -- snapshot -------------------------------------------------------
+    def capture(self) -> Tuple:
+        return (
+            tuple(
+                (line, tuple(entry.items()))
+                for line, entry in self._sharers.items()
+            ),
+            (
+                self.stats.invalidations_sent,
+                self.stats.downgrades,
+                self.stats.upgrades,
+                self.stats.writeback_penalties,
+            ),
+        )
+
+    def restore(self, state: Tuple) -> None:
+        sharers, stats = state
+        self._sharers = {line: dict(entry) for line, entry in sharers}
+        (
+            self.stats.invalidations_sent,
+            self.stats.downgrades,
+            self.stats.upgrades,
+            self.stats.writeback_penalties,
+        ) = stats

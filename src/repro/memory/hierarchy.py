@@ -124,6 +124,16 @@ class CacheHierarchy:
 
     LEVELS = ("L1", "L2", "LLC", "DRAM")
 
+    SNAP_VERSION = 1
+    SNAP_SCHEMA = (
+        "caches(l1i,l1d,l2,llc)",
+        "memory",
+        "mshrs",
+        "visible_log",
+        "coherence",
+        "policy_rng_state",
+    )
+
     def __init__(self, num_cores: int, config: Optional[HierarchyConfig] = None):
         if num_cores < 1:
             raise ValueError("need at least one core")
@@ -131,8 +141,11 @@ class CacheHierarchy:
         self.num_cores = num_cores
         cfg = self.config
         # Seeded policy RNG: randomized-replacement levels (CleanupSpec
-        # ablation) vary per hierarchy seed yet stay reproducible.
-        policy_rng = random.Random(cfg.seed * 2654435761 + 17)
+        # ablation) vary per hierarchy seed yet stay reproducible.  Kept
+        # as an attribute because it is shared by every random-policy
+        # set, so snapshots capture its state once, here, rather than
+        # per set.
+        self.policy_rng = policy_rng = random.Random(cfg.seed * 2654435761 + 17)
         self.l1i = [cfg.l1i.build(f"L1I.{c}", rng=policy_rng) for c in range(num_cores)]
         self.l1d = [cfg.l1d.build(f"L1D.{c}", rng=policy_rng) for c in range(num_cores)]
         self.l2 = [cfg.l2.build(f"L2.{c}", rng=policy_rng) for c in range(num_cores)]
@@ -311,6 +324,33 @@ class CacheHierarchy:
 
     def clear_log(self) -> None:
         self.visible_log.clear()
+
+    # -- snapshot -------------------------------------------------------
+    def capture(self) -> Tuple:
+        """Capture every cache, MSHR file, DRAM, the visible log, the
+        coherence directory, and the shared policy RNG."""
+        return (
+            tuple(cache.capture() for cache in self.all_caches()),
+            self.memory.capture(),
+            tuple(mshrs.capture() for mshrs in self.l1d_mshrs),
+            tuple(self.visible_log),
+            self.coherence.capture() if self.coherence is not None else None,
+            self.policy_rng.getstate(),
+        )
+
+    def restore(self, state: Tuple) -> None:
+        caches, memory, mshrs, log, coherence, rng_state = state
+        for cache, cache_state in zip(self.all_caches(), caches):
+            cache.restore(cache_state)
+        self.memory.restore(memory)
+        for mshr_file, mshr_state in zip(self.l1d_mshrs, mshrs):
+            mshr_file.restore(mshr_state)
+        # Slice-assign: the harness and agents hold index bookmarks into
+        # this exact list object.
+        self.visible_log[:] = log
+        if self.coherence is not None and coherence is not None:
+            self.coherence.restore(coherence)
+        self.policy_rng.setstate(rng_state)
 
     def log_since(self, index: int) -> List[VisibleAccess]:
         return self.visible_log[index:]

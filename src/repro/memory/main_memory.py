@@ -14,6 +14,11 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple
 class MainMemory:
     """Sparse physical memory with optional access-latency jitter."""
 
+    #: Snapshot schema (see :mod:`repro.snapshot.schema`): bump when the
+    #: capture tuple layout changes.
+    SNAP_VERSION = 1
+    SNAP_SCHEMA = ("data", "rng_state", "reads", "writes")
+
     def __init__(
         self,
         *,
@@ -45,6 +50,10 @@ class MainMemory:
         self.writes += 1
         self._data[addr] = value
 
+    def poke(self, addr: int, value: int) -> None:
+        """Write without bumping counters (snapshot-fork secret swap)."""
+        self._data[addr] = value
+
     def write_block(self, base: int, values: Iterable[int], *, stride: int = 8) -> None:
         for offset, value in enumerate(values):
             self.write(base + offset * stride, value)
@@ -60,3 +69,14 @@ class MainMemory:
 
     def reseed(self, seed: int) -> None:
         self._rng = random.Random(seed)
+
+    # -- snapshot -------------------------------------------------------
+    def capture(self) -> Tuple:
+        return (dict(self._data), self._rng.getstate(), self.reads, self.writes)
+
+    def restore(self, state: Tuple) -> None:
+        data, rng_state, reads, writes = state
+        self._data = dict(data)
+        self._rng.setstate(rng_state)
+        self.reads = reads
+        self.writes = writes

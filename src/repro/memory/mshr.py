@@ -10,8 +10,8 @@ finite capacity is what the GDMSHR interference gadget exhausts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.trace.events import EventKind
 
@@ -22,14 +22,25 @@ class MSHRFullError(RuntimeError):
 
 @dataclass
 class MSHREntry:
+    __slots__ = ("line_addr", "allocated_at", "consumers")
+
     line_addr: int
     allocated_at: int
     #: Opaque consumer tokens (pipeline load ids) waiting on this line.
-    consumers: Set[int] = field(default_factory=set)
+    consumers: Set[int]
 
 
 class MSHRFile:
     """Fixed-capacity MSHR file with per-line coalescing."""
+
+    SNAP_VERSION = 1
+    SNAP_SCHEMA = (
+        "entries(line,allocated_at,consumers)",
+        "peak_occupancy",
+        "allocations",
+        "coalesced",
+        "rejections",
+    )
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -132,3 +143,29 @@ class MSHRFile:
 
     def reset(self) -> None:
         self._entries.clear()
+
+    # -- snapshot -------------------------------------------------------
+    def capture(self) -> Tuple:
+        return (
+            tuple(
+                (e.line_addr, e.allocated_at, frozenset(e.consumers))
+                for e in self._entries.values()
+            ),
+            self.peak_occupancy,
+            self.allocations,
+            self.coalesced,
+            self.rejections,
+        )
+
+    def restore(self, state: Tuple) -> None:
+        entries, peak, allocs, coalesced, rejections = state
+        self._entries = {
+            line: MSHREntry(
+                line_addr=line, allocated_at=at, consumers=set(consumers)
+            )
+            for line, at, consumers in entries
+        }
+        self.peak_occupancy = peak
+        self.allocations = allocs
+        self.coalesced = coalesced
+        self.rejections = rejections

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 
 class SetPolicy(ABC):
@@ -46,6 +46,30 @@ class SetPolicy(ABC):
     def state_summary(self) -> List[int]:
         """Policy-internal per-way state, for diagnostics and tests."""
         return [0] * self.num_ways
+
+    #: Attributes that are configuration (or shared, like the hierarchy
+    #: policy RNG — snapshotted once at hierarchy level), never per-set
+    #: mutable state, and thus excluded from snapshots.
+    _SNAP_EXCLUDE = frozenset({"num_ways", "_rng", "max_rrpv"})
+
+    def snapshot_state(self) -> Tuple:
+        """Flat copy of the mutable per-set policy state.
+
+        Generic over subclasses: every mutable field lives in
+        ``__dict__`` as an int or a list of ints, so a sorted
+        (name, value) tuple with lists copied out captures all of them.
+        Subclasses that rebind their lists (NRU, SRRIP) are covered
+        because :meth:`restore_state` rebinds too.
+        """
+        return tuple(
+            (name, list(value) if isinstance(value, list) else value)
+            for name, value in sorted(self.__dict__.items())
+            if name not in self._SNAP_EXCLUDE
+        )
+
+    def restore_state(self, state: Tuple) -> None:
+        for name, value in state:
+            setattr(self, name, list(value) if isinstance(value, list) else value)
 
     @staticmethod
     def _first_invalid(valid: Sequence[bool]) -> Optional[int]:

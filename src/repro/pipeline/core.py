@@ -20,7 +20,13 @@ from repro.isa.program import Program
 from repro.memory.hierarchy import AccessKind, CacheHierarchy
 from repro.pipeline.branch import BranchPredictor, TwoBitPredictor
 from repro.pipeline.config import CoreConfig
-from repro.pipeline.dyninstr import DynInstr, Phase, SourceOperand
+from repro.pipeline.dyninstr import (
+    DynInstr,
+    Phase,
+    SourceOperand,
+    capture_dyninstr,
+    restore_dyninstr,
+)
 from repro.pipeline.execution_unit import CommonDataBus, ExecutionUnit
 from repro.pipeline.lsu import LoadStoreUnit
 from repro.pipeline.reservation_station import ReservationStation
@@ -61,22 +67,48 @@ class CycleBudgetError(DeadlockError):
     just mean the budget was too small for the workload)."""
 
 
+#: Counter names of :class:`CoreStats`, in declaration order (doubles
+#: as its ``__slots__`` and its snapshot field order).
+CORE_STAT_FIELDS = (
+    "cycles",
+    "fetched",
+    "dispatched",
+    "issued",
+    "retired",
+    "branches",
+    "mispredicts",
+    "squashes",
+    "squashed_instrs",
+    "icache_miss_stalls",
+    "fetch_stall_cycles",
+    "rs_full_stalls",
+    "rob_full_stalls",
+    "eu_preemptions",
+)
+
+
 @dataclass
 class CoreStats:
-    cycles: int = 0
-    fetched: int = 0
-    dispatched: int = 0
-    issued: int = 0
-    retired: int = 0
-    branches: int = 0
-    mispredicts: int = 0
-    squashes: int = 0
-    squashed_instrs: int = 0
-    icache_miss_stalls: int = 0
-    fetch_stall_cycles: int = 0
-    rs_full_stalls: int = 0
-    rob_full_stalls: int = 0
-    eu_preemptions: int = 0
+    __slots__ = CORE_STAT_FIELDS
+
+    cycles: int
+    fetched: int
+    dispatched: int
+    issued: int
+    retired: int
+    branches: int
+    mispredicts: int
+    squashes: int
+    squashed_instrs: int
+    icache_miss_stalls: int
+    fetch_stall_cycles: int
+    rs_full_stalls: int
+    rob_full_stalls: int
+    eu_preemptions: int
+
+    def __init__(self) -> None:
+        for name in CORE_STAT_FIELDS:
+            setattr(self, name, 0)
 
     @property
     def ipc(self) -> float:
@@ -484,16 +516,19 @@ class Core:
     # writeback / branch resolution
     # ==================================================================
     def _writeback(self) -> None:
+        cycle = self.cycle
+        lsu = self.lsu
+        cdb_enqueue = self.cdb.enqueue
         for eu in self.eus:
-            for instr in eu.drain_finished(self.cycle):
+            for instr in eu.drain_finished(cycle):
                 if instr.is_load and instr.load_state is None:
                     # AGU finished: hand the load to the memory system.
-                    self.lsu.submit(self, instr, self.cycle)
+                    lsu.submit(self, instr, cycle)
                 else:
-                    self.cdb.enqueue(instr)
-        for load in self.lsu.collect_completions(self.cycle):
+                    cdb_enqueue(instr)
+        for load in lsu.collect_completions(cycle):
             self.scheme.on_load_complete(self, load)
-            self.cdb.enqueue(load)
+            cdb_enqueue(load)
         for instr in self.cdb.broadcast():
             if instr.phase is Phase.SQUASHED:
                 continue
@@ -593,17 +628,25 @@ class Core:
     # issue
     # ==================================================================
     def _issue(self) -> None:
+        # Hot loop: runs over the whole RS every cycle, so bind the
+        # per-iteration attribute chains to locals once.
+        cycle = self.cycle
+        eus = self.eus
+        scheme_may_issue = self.scheme.may_issue
+        flags_get = self.safety_flags.get
+        blocked_by_fence = self._blocked_by_fence
+        sources_ready = self._sources_ready
         for instr in self.rs.waiting_sorted():
-            eu = self.eus[instr.static.port]
-            if not eu.can_accept(self.cycle):
+            eu = eus[instr.static.port]
+            if not eu.can_accept(cycle):
                 if not self._try_preempt(eu, instr):
                     continue
-            if self._blocked_by_fence(instr.seq):
+            if blocked_by_fence(instr.seq):
                 continue
-            if not self._sources_ready(instr):
+            if not sources_ready(instr):
                 continue
-            flags = self.safety_flags.get(instr.seq)
-            if flags is not None and not self.scheme.may_issue(self, instr, flags):
+            flags = flags_get(instr.seq)
+            if flags is not None and not scheme_may_issue(self, instr, flags):
                 continue
             self._do_issue(instr, eu)
 
@@ -627,13 +670,15 @@ class Core:
         return any(f < seq for f in self._fences)
 
     def _sources_ready(self, instr: DynInstr) -> bool:
+        scoreboard_get = self._scoreboard.get
+        cycle = self.cycle
         for src in instr.sources:
             if src.producer_seq is None:
                 continue
             if src.value is not None:
                 continue
-            entry = self._scoreboard.get(src.producer_seq)
-            if entry is None or entry[1] >= self.cycle:
+            entry = scoreboard_get(src.producer_seq)
+            if entry is None or entry[1] >= cycle:
                 return False
             src.value = entry[0]
         return True
@@ -778,14 +823,18 @@ class Core:
             return
         budget = self.config.fetch_width
         line_size = self.hierarchy.llc.layout.line_size
+        program = self.program
+        fetch_queue = self.fetch_queue
+        queue_limit = self.config.fetch_queue_size
+        program_len = len(program)
         while (
             budget > 0
-            and len(self.fetch_queue) < self.config.fetch_queue_size
-            and self.fetch_pc < len(self.program)
+            and len(fetch_queue) < queue_limit
+            and self.fetch_pc < program_len
         ):
             slot = self.fetch_pc
-            static = self.program.at(slot)
-            pc_addr = self.program.address_of_slot(slot)
+            static = program.at(slot)
+            pc_addr = program.address_of_slot(slot)
             line = pc_addr & ~(line_size - 1)
             if line not in self._fetch_buffer:
                 speculative = self._fetch_is_speculative()
@@ -837,6 +886,163 @@ class Core:
         if self.rob.oldest_unresolved_branch() is not None:
             return True
         return any(e.is_unresolved_branch for e in self.fetch_queue)
+
+    # ==================================================================
+    # snapshot
+    # ==================================================================
+    SNAP_VERSION = 1
+    SNAP_SCHEMA = (
+        "instr_table",
+        "cycle",
+        "halted",
+        "stats",
+        "regfile",
+        "rob",
+        "rs",
+        "eus",
+        "cdb",
+        "lsu",
+        "seq_counter",
+        "fetch_pc",
+        "fetch_queue_seqs",
+        "fetch_stall_until",
+        "fetch_buffer",
+        "pending_redirect",
+        "halt_seen",
+        "producers",
+        "scoreboard",
+        "fences",
+        "trace_seqs",
+        "last_progress_cycle",
+        "predictor",
+        "scheme",
+    )
+
+    def capture(self) -> Tuple:
+        """Capture the complete core state as flat tuples.
+
+        Every container holding :class:`DynInstr` objects is captured as
+        a sequence of ``seq`` ids; the instructions themselves are
+        captured exactly once each into an id-keyed table, so the
+        aliasing of one dynamic instruction across ROB/RS/EU/CDB/LSU/
+        fetch-queue survives a restore.
+        """
+        table: Dict[int, Tuple] = {}
+
+        def note(instr: DynInstr) -> None:
+            if instr.seq not in table:
+                table[instr.seq] = capture_dyninstr(instr)
+
+        for entry in self.rob:
+            note(entry)
+        for entry in self.rs:
+            note(entry)
+        for eu in self.eus:
+            for op in eu._in_flight:
+                note(op.instr)
+        for instr in self.cdb._queue:
+            note(instr)
+        for load in self.lsu._parked:
+            note(load)
+        for inflight in self.lsu._inflight:
+            note(inflight.instr)
+        for instr in self.fetch_queue:
+            note(instr)
+        for instr in self.trace:
+            note(instr)
+        return (
+            tuple(table.items()),
+            self.cycle,
+            self.halted,
+            tuple(getattr(self.stats, name) for name in CORE_STAT_FIELDS),
+            dict(self.regfile),
+            self.rob.capture(),
+            self.rs.capture(),
+            tuple(eu.capture() for eu in self.eus),
+            self.cdb.capture(),
+            self.lsu.capture(),
+            self._seq,
+            self.fetch_pc,
+            tuple(i.seq for i in self.fetch_queue),
+            self._fetch_stall_until,
+            tuple(self._fetch_buffer),
+            self._pending_redirect,
+            self._halt_seen,
+            dict(self._producers),
+            dict(self._scoreboard),
+            frozenset(self._fences),
+            tuple(i.seq for i in self.trace),
+            self._last_progress_cycle,
+            self.predictor.capture_state(),
+            self.scheme.capture_state(),
+        )
+
+    def restore(self, state: Tuple) -> None:
+        (
+            table,
+            cycle,
+            halted,
+            stats,
+            regfile,
+            rob_state,
+            rs_state,
+            eus_state,
+            cdb_state,
+            lsu_state,
+            seq_counter,
+            fetch_pc,
+            fetch_queue_seqs,
+            fetch_stall_until,
+            fetch_buffer,
+            pending_redirect,
+            halt_seen,
+            producers,
+            scoreboard,
+            fences,
+            trace_seqs,
+            last_progress,
+            predictor_state,
+            scheme_state,
+        ) = state
+        program = self.program
+        # Rebuild one fresh DynInstr per captured seq; every container
+        # below resolves through this table, restoring aliasing.
+        instrs = {
+            seq: restore_dyninstr(instr_state, program.at(instr_state[1]))
+            for seq, instr_state in table
+        }
+        resolve = instrs.__getitem__
+        self.cycle = cycle
+        self.halted = halted
+        for name, value in zip(CORE_STAT_FIELDS, stats):
+            setattr(self.stats, name, value)
+        self.regfile.clear()
+        self.regfile.update(regfile)
+        self.rob.restore(rob_state, resolve)
+        self.rs.restore(rs_state, resolve)
+        for eu, eu_state in zip(self.eus, eus_state):
+            eu.restore(eu_state, resolve)
+        self.cdb.restore(cdb_state, resolve)
+        self.lsu.restore(lsu_state, resolve)
+        self._seq = seq_counter
+        self.fetch_pc = fetch_pc
+        self.fetch_queue.clear()
+        self.fetch_queue.extend(resolve(s) for s in fetch_queue_seqs)
+        self._fetch_stall_until = fetch_stall_until
+        self._fetch_buffer.clear()
+        self._fetch_buffer.extend(fetch_buffer)
+        self._pending_redirect = pending_redirect
+        self._halt_seen = halt_seen
+        self._producers = dict(producers)
+        self._scoreboard = dict(scoreboard)
+        self._fences = set(fences)
+        self.trace[:] = [resolve(s) for s in trace_seqs]
+        self._last_progress_cycle = last_progress
+        self.predictor.restore_state(predictor_state)
+        self.scheme.restore_state(scheme_state)
+        # Derived per-cycle state: recomputed at the top of every step,
+        # but restore it defensively for anything peeking between steps.
+        self.safety_flags = self.rob.safety_flags()
 
     # ==================================================================
     # diagnostics

@@ -10,7 +10,7 @@ holding slots until retirement via :attr:`hold_until_nonspec`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.pipeline.dyninstr import DynInstr
 
@@ -82,3 +82,22 @@ class ReservationStation:
         """Entries oldest-first (age-ordered scheduling, §3.2)."""
         self._entries.sort(key=lambda e: e.seq)
         return list(self._entries)
+
+    # -- snapshot -------------------------------------------------------
+    SNAP_VERSION = 1
+    SNAP_SCHEMA = ("entry_seqs", "occupied", "held", "peak_occupancy")
+
+    def capture(self) -> Tuple:
+        return (
+            tuple(e.seq for e in self._entries),
+            self._occupied,
+            tuple(self._held.items()),
+            self.peak_occupancy,
+        )
+
+    def restore(self, state: Tuple, resolve: Callable[[int], DynInstr]) -> None:
+        seqs, occupied, held, peak = state
+        self._entries = [resolve(seq) for seq in seqs]
+        self._occupied = occupied
+        self._held = dict(held)
+        self.peak_occupancy = peak

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, Iterator, List, Optional
+from typing import Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.pipeline.dyninstr import DynInstr, Phase
 
@@ -135,3 +135,16 @@ class ROB:
     def older_stores(self, seq: int) -> List[DynInstr]:
         """Stores older than ``seq``, oldest first (for forwarding)."""
         return [e for e in self._entries if e.is_store and e.seq < seq]
+
+    # -- snapshot -------------------------------------------------------
+    SNAP_VERSION = 1
+    SNAP_SCHEMA = ("entry_seqs",)
+
+    def capture(self) -> Tuple:
+        """Entry identities only; the instruction objects themselves are
+        captured once, per seq, by the owning core."""
+        return (tuple(e.seq for e in self._entries),)
+
+    def restore(self, state: Tuple, resolve: Callable[[int], DynInstr]) -> None:
+        (seqs,) = state
+        self._entries = deque(resolve(seq) for seq in seqs)

@@ -38,6 +38,7 @@ from repro.runner.spec import (
     TrialSummary,
     expand_grid,
 )
+from repro.runner.cache import TrialCache, cache_key
 from repro.runner.journal import TrialJournal
 from repro.runner.metrics_io import (
     aggregate_from_file,
@@ -62,6 +63,8 @@ __all__ = [
     "SweepResult",
     "SweepFailure",
     "TrialJournal",
+    "TrialCache",
+    "cache_key",
     "expand_grid",
     "SweepRunner",
     "SerialSweepRunner",

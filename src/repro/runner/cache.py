@@ -1,0 +1,120 @@
+"""Content-addressed trial cache.
+
+A finished trial is a pure function of its :class:`TrialSpec` (victim
+program + config + scheme + secret + seed — all folded into
+``spec.digest()``) and of the simulator's state layout (the snapshot
+state-schema hash, which changes whenever a component's captured state
+changes shape).  The cache keys memoized
+:class:`~repro.runner.spec.TrialOutcome`s on the SHA-256 of both, so a
+re-run of the same sweep on the same build returns byte-identical
+results without simulating, while any simulator change that could
+alter results invalidates every stale entry by construction.
+
+Entries are JSON files (the checkpoint journal's codec, one outcome
+per file) sharded into 256 two-hex-character subdirectories.  Writes
+are atomic (temp file + ``os.replace``) so concurrent sweep workers
+can share one cache directory without locks.  Only ``ok`` outcomes are
+cached: failures re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+from repro.runner.journal import JOURNAL_VERSION, outcome_from_json, outcome_to_json
+from repro.runner.spec import TrialOutcome, TrialSpec
+
+
+def cache_key(spec: TrialSpec, schema_hash: Optional[str] = None) -> str:
+    """SHA-256 over the spec digest and the snapshot state-schema hash."""
+    if schema_hash is None:
+        from repro.snapshot.schema import state_schema_hash
+
+        schema_hash = state_schema_hash()
+    payload = f"{spec.digest()}:{schema_hash}".encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+class TrialCache:
+    """Digest-keyed, schema-versioned store of finished trial outcomes."""
+
+    def __init__(self, cache_dir) -> None:
+        self.cache_dir = os.fspath(cache_dir)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key[:2], key + ".json")
+
+    def get(self, spec: TrialSpec) -> Optional[TrialOutcome]:
+        """The memoized outcome for ``spec``, or None (counted as hit
+        or miss).  Corrupt or schema-stale entries read as misses."""
+        from repro.snapshot.schema import state_schema_hash
+
+        schema = state_schema_hash()
+        path = self._path(cache_key(spec, schema))
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (FileNotFoundError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            # Belt and braces: the schema hash is already part of the
+            # key, but validating the recorded copy keeps a manually
+            # relocated or tampered entry from resurfacing.
+            if data["schema"] != schema or data["digest"] != spec.digest():
+                self.misses += 1
+                return None
+            outcome = outcome_from_json(data["outcome"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return outcome
+
+    def put(self, spec: TrialSpec, outcome: TrialOutcome) -> bool:
+        """Store an ``ok`` outcome (atomically); returns True if stored."""
+        from repro.snapshot.schema import state_schema_hash
+
+        if not outcome.ok:
+            return False
+        schema = state_schema_hash()
+        path = self._path(cache_key(spec, schema))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = json.dumps(
+            {
+                "v": JOURNAL_VERSION,
+                "schema": schema,
+                "digest": spec.digest(),
+                "outcome": outcome_to_json(outcome),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return True
+
+    # ------------------------------------------------------------------
+    def __contains__(self, spec: TrialSpec) -> bool:
+        return os.path.exists(self._path(cache_key(spec)))
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses}

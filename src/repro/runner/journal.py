@@ -59,6 +59,11 @@ def summary_to_json(summary: TrialSummary) -> dict:
         "line_a": summary.line_a,
         "line_b": summary.line_b,
         **({"metrics": summary.metrics} if summary.metrics is not None else {}),
+        **(
+            {"snapshot_path": summary.snapshot_path}
+            if summary.snapshot_path is not None
+            else {}
+        ),
     }
 
 
@@ -84,6 +89,7 @@ def summary_from_json(data: dict) -> TrialSummary:
         line_a=data["line_a"],
         line_b=data["line_b"],
         metrics=data.get("metrics"),
+        snapshot_path=data.get("snapshot_path"),
     )
 
 

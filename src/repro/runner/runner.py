@@ -129,6 +129,13 @@ def run_trial_spec(spec: TrialSpec, *, fault_injector=None) -> TrialSummary:
         metrics = machine_metrics(
             result.machine, events=tracer.events
         ).to_json()
+    snapshot_path = None
+    if spec.snapshot_dir is not None:
+        from repro.snapshot.handle import save_trial_snapshot
+
+        snapshot_path = save_trial_snapshot(
+            result.machine, spec, spec.snapshot_dir
+        )
     return TrialSummary(
         victim=spec.victim,
         scheme=result.scheme,
@@ -141,6 +148,7 @@ def run_trial_spec(spec: TrialSpec, *, fault_injector=None) -> TrialSummary:
         line_a=victim.line_a,
         line_b=victim.line_b,
         metrics=metrics,
+        snapshot_path=snapshot_path,
     )
 
 
@@ -212,6 +220,34 @@ def _failure_outcome(
     )
 
 
+#: Simulator types that must never appear in a worker-shipped summary —
+#: each would drag megabytes of state (or unpicklable closures) across
+#: the process boundary.
+_FORBIDDEN_TRANSPORT = frozenset(
+    {"Machine", "Core", "CacheHierarchy", "Tracer", "TrialSetup"}
+)
+
+
+def _check_lean_transport(outcome: TrialOutcome) -> None:
+    """Lean-transport guard: outcomes ship plain data only.
+
+    Summaries reference heavyweight state by *path* (``snapshot_path``)
+    when a spec asks for it; a live simulator object slipping into any
+    summary field is a transport bug and fails loudly here, worker-side,
+    instead of as an opaque pickling error in the parent."""
+    summary = outcome.summary
+    if summary is None:
+        return
+    for field_name in summary.__dataclass_fields__:
+        value = getattr(summary, field_name)
+        if type(value).__name__ in _FORBIDDEN_TRANSPORT:
+            raise TypeError(
+                f"TrialSummary.{field_name} holds a "
+                f"{type(value).__name__}; simulator objects must not "
+                f"cross the worker boundary"
+            )
+
+
 def _run_chunk_outcomes(
     tasks: List[Tuple[TrialSpec, int]],
     journal_path: Optional[str],
@@ -225,9 +261,23 @@ def _run_chunk_outcomes(
     outcomes = []
     for spec, attempt in tasks:
         outcome = run_trial_outcome(spec, attempt=attempt, plan=plan)
+        _check_lean_transport(outcome)
         if journal is not None and journal.should_record(outcome):
             journal.record(outcome)
         outcomes.append(outcome)
+    return outcomes
+
+
+def _run_fork_group_outcomes(specs: List[TrialSpec]):
+    """Pool-dispatchable fork-group body (module-level, picklable by
+    reference).  Returns aligned outcomes, or None when the group must
+    fall back to cold execution."""
+    from repro.snapshot.fork import run_fork_group
+
+    outcomes = run_fork_group(specs)
+    if outcomes is not None:
+        for outcome in outcomes:
+            _check_lean_transport(outcome)
     return outcomes
 
 
@@ -239,8 +289,23 @@ class SweepRunner:
     #: Re-runs allowed per trial on transient (timeout / worker-lost)
     #: failures; the first execution is not a retry.
     max_retries: int = 2
+    #: Snapshot/fork execution (:mod:`repro.snapshot.fork`): trials
+    #: differing only in secret/seed share one simulated prefix.
+    fork: bool = False
+    #: Content-addressed trial cache directory
+    #: (:class:`repro.runner.cache.TrialCache`); None disables caching.
+    cache_dir: Optional[str] = None
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        raise NotImplementedError
+
+    def _execute_outcomes(
+        self,
+        specs: Sequence[TrialSpec],
+        *,
+        journal: Optional[TrialJournal] = None,
+    ) -> List[TrialOutcome]:
+        """Cold execution of ``specs`` (isolation + retry + journal)."""
         raise NotImplementedError
 
     def run_outcomes(
@@ -249,7 +314,87 @@ class SweepRunner:
         *,
         journal: Optional[TrialJournal] = None,
     ) -> List[TrialOutcome]:
-        raise NotImplementedError
+        """Execute ``specs``, layering the memoization fast paths over
+        the runner's cold execution:
+
+        1. **cache pre-check** — specs whose content digest (plus the
+           snapshot state-schema hash) is already in ``cache_dir``
+           return their memoized outcome without simulating;
+        2. **journal merge** — checkpointed outcomes are reused;
+        3. **fork groups** — with ``fork=True`` (and no fault plan
+           active), remaining specs that differ only in secret/seed run
+           as probe-plus-forked-variants groups;
+        4. everything still unresolved runs cold, exactly as before;
+        5. fresh ``ok`` outcomes are written back to the cache.
+        """
+        specs = list(specs)
+        outcomes: List[Optional[TrialOutcome]] = [None] * len(specs)
+        cache = None
+        cached: set = set()
+        if self.cache_dir is not None:
+            from repro.runner.cache import TrialCache
+
+            cache = TrialCache(self.cache_dir)
+            for i, spec in enumerate(specs):
+                hit = cache.get(spec)
+                if hit is not None:
+                    outcomes[i] = hit
+                    cached.add(i)
+        _merge_journal(specs, outcomes, journal)
+        if self.fork and faults.current_plan() is None:
+            self._run_fork_groups(specs, outcomes, journal)
+        rest = [i for i in range(len(specs)) if outcomes[i] is None]
+        if rest:
+            for i, outcome in zip(
+                rest,
+                self._execute_outcomes(
+                    [specs[i] for i in rest], journal=journal
+                ),
+            ):
+                outcomes[i] = outcome
+        if cache is not None:
+            for i, outcome in enumerate(outcomes):
+                if i not in cached and outcome is not None:
+                    cache.put(specs[i], outcome)
+        return outcomes  # type: ignore[return-value]
+
+    def _run_fork_groups(
+        self,
+        specs: List[TrialSpec],
+        outcomes: List[Optional[TrialOutcome]],
+        journal: Optional[TrialJournal],
+    ) -> None:
+        """Fill ``outcomes`` slots via fork-group execution where it
+        applies; anything it cannot (or fails to) cover stays None for
+        the cold path."""
+        from repro.snapshot.fork import plan_fork_groups
+
+        pending = [i for i in range(len(specs)) if outcomes[i] is None]
+        groups, _ = plan_fork_groups([specs[i] for i in pending])
+        group_indices = [[pending[j] for j in group] for group in groups]
+        if not group_indices:
+            return
+        try:
+            results = self.map(
+                _run_fork_group_outcomes,
+                [[specs[i] for i in group] for group in group_indices],
+            )
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            # Pool-level failure (e.g. a lost worker): the cold path
+            # below re-runs everything with its own fault tolerance.
+            results = [None] * len(group_indices)
+            reset = getattr(self, "_reset_pool", None)
+            if reset is not None:
+                reset()
+        for group, group_outcomes in zip(group_indices, results):
+            if group_outcomes is None:
+                continue  # probe failed; group falls back to cold
+            for i, outcome in zip(group, group_outcomes):
+                outcomes[i] = outcome
+                if journal is not None and journal.should_record(outcome):
+                    journal.record(outcome)
 
     def run(
         self,
@@ -344,13 +489,21 @@ class SerialSweepRunner(SweepRunner):
 
     workers = 1
 
-    def __init__(self, *, max_retries: int = 2) -> None:
+    def __init__(
+        self,
+        *,
+        max_retries: int = 2,
+        fork: bool = False,
+        cache_dir: Optional[str] = None,
+    ) -> None:
         self.max_retries = max_retries
+        self.fork = fork
+        self.cache_dir = cache_dir
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         return [fn(item) for item in items]
 
-    def run_outcomes(
+    def _execute_outcomes(
         self,
         specs: Sequence[TrialSpec],
         *,
@@ -386,10 +539,14 @@ class ParallelSweepRunner(SweepRunner):
         chunksize: Optional[int] = None,
         max_retries: int = 2,
         trial_timeout: Optional[float] = None,
+        fork: bool = False,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.workers = max(1, workers if workers is not None else default_workers())
         self.max_retries = max_retries
         self.trial_timeout = trial_timeout
+        self.fork = fork
+        self.cache_dir = cache_dir
         self._chunksize = chunksize
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -427,7 +584,7 @@ class ParallelSweepRunner(SweepRunner):
     # ------------------------------------------------------------------
     # fault-tolerant sweep execution
     # ------------------------------------------------------------------
-    def run_outcomes(
+    def _execute_outcomes(
         self,
         specs: Sequence[TrialSpec],
         *,
@@ -617,14 +774,24 @@ def make_runner(
     *,
     max_retries: int = 2,
     trial_timeout: Optional[float] = None,
+    fork: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> SweepRunner:
     """The sensible default: parallel when it can help, serial when a
     pool would only add process overhead (single CPU, or workers=1).
     ``max_retries`` / ``trial_timeout`` configure the fault-tolerant
-    ``run`` path (see :class:`ParallelSweepRunner`)."""
+    ``run`` path (see :class:`ParallelSweepRunner`); ``fork`` and
+    ``cache_dir`` enable snapshot/fork execution and the
+    content-addressed trial cache (see :meth:`SweepRunner.run_outcomes`)."""
     resolved = workers if workers is not None else default_workers()
     if resolved <= 1:
-        return SerialSweepRunner(max_retries=max_retries)
+        return SerialSweepRunner(
+            max_retries=max_retries, fork=fork, cache_dir=cache_dir
+        )
     return ParallelSweepRunner(
-        resolved, max_retries=max_retries, trial_timeout=trial_timeout
+        resolved,
+        max_retries=max_retries,
+        trial_timeout=trial_timeout,
+        fork=fork,
+        cache_dir=cache_dir,
     )

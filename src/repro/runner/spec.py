@@ -49,6 +49,12 @@ class TrialSpec:
     #: trace.  The summary then carries ``metrics`` (the registry's
     #: ``to_json`` form) and sweeps can aggregate across trials.
     collect_metrics: bool = False
+    #: Directory to save an end-of-trial machine snapshot handle into
+    #: (see :mod:`repro.snapshot.handle`).  The summary then carries
+    #: ``snapshot_path`` — a string, so worker transport stays lean —
+    #: and the full microarchitectural state can be rehydrated later
+    #: for inspection.  None (the default) saves nothing.
+    snapshot_dir: Optional[str] = None
 
     def label(self) -> str:
         return f"{self.victim}/{self.scheme}/s{self.secret}"
@@ -89,6 +95,11 @@ class TrialSummary:
     #: :meth:`repro.trace.MetricsRegistry.to_json` form, when the spec
     #: asked for them (``collect_metrics=True``); None otherwise.
     metrics: Optional[Dict[str, object]] = None
+    #: Path of the saved end-of-trial snapshot handle, when the spec
+    #: asked for one (``snapshot_dir=``); None otherwise.  A path, not
+    #: the state itself: simulator objects never cross process
+    #: boundaries.
+    snapshot_path: Optional[str] = None
 
     def first_access(self, line: int) -> Optional[int]:
         return self.access_cycle.get(line)

@@ -1,0 +1,83 @@
+"""State-schema versioning for the snapshot protocol.
+
+Every snapshot-capable component class declares two class attributes:
+
+* ``SNAP_VERSION`` — an integer bumped whenever the *meaning* of its
+  capture tuple changes without the field list changing;
+* ``SNAP_SCHEMA`` — the ordered tuple of field names its ``capture()``
+  emits (changing the capture layout changes this automatically).
+
+:func:`state_schema_hash` folds all of them into one digest.  Anything
+derived from simulator state that outlives a process — the
+content-addressed trial cache, saved snapshot handles — embeds this
+hash, so any change to what a snapshot contains invalidates stale
+artifacts instead of silently mixing layouts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Tuple
+
+#: Memoized digest (the component schemas are class-level constants, so
+#: one computation per process is exact).
+_CACHED_HASH: Optional[str] = None
+
+
+def _component_classes() -> List[type]:
+    """Every class participating in a machine snapshot, in a fixed
+    order.  Imported lazily so this module stays importable from pool
+    workers without dragging the whole simulator in at import time."""
+    from repro.memory.cache import Cache
+    from repro.memory.coherence import CoherenceDirectory
+    from repro.memory.hierarchy import CacheHierarchy
+    from repro.memory.main_memory import MainMemory
+    from repro.memory.mshr import MSHRFile
+    from repro.pipeline.core import Core
+    from repro.pipeline.execution_unit import CommonDataBus, ExecutionUnit
+    from repro.pipeline.lsu import LoadStoreUnit
+    from repro.pipeline.reservation_station import ReservationStation
+    from repro.pipeline.rob import ROB
+    from repro.system.machine import Machine
+
+    return [
+        Machine,
+        Core,
+        ROB,
+        ReservationStation,
+        ExecutionUnit,
+        CommonDataBus,
+        LoadStoreUnit,
+        CacheHierarchy,
+        Cache,
+        MSHRFile,
+        CoherenceDirectory,
+        MainMemory,
+    ]
+
+
+def schema_components() -> Tuple[Tuple[str, int, Tuple[str, ...]], ...]:
+    """(class name, SNAP_VERSION, SNAP_SCHEMA) for every component, plus
+    the DynInstr codec (a pair of functions, not a class)."""
+    from repro.pipeline.dyninstr import (
+        DYNINSTR_SNAP_SCHEMA,
+        DYNINSTR_SNAP_VERSION,
+    )
+
+    entries = [
+        (cls.__name__, cls.SNAP_VERSION, tuple(cls.SNAP_SCHEMA))
+        for cls in _component_classes()
+    ]
+    entries.append(
+        ("DynInstr", DYNINSTR_SNAP_VERSION, tuple(DYNINSTR_SNAP_SCHEMA))
+    )
+    return tuple(entries)
+
+
+def state_schema_hash() -> str:
+    """Hex digest identifying the snapshot state layout of this build."""
+    global _CACHED_HASH
+    if _CACHED_HASH is None:
+        payload = repr(schema_components()).encode()
+        _CACHED_HASH = hashlib.sha256(payload).hexdigest()[:16]
+    return _CACHED_HASH
