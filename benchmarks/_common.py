@@ -2,14 +2,29 @@
 
 Every bench regenerates one paper artifact, prints it, and archives it
 under ``benchmarks/results/`` so EXPERIMENTS.md can reference the exact
-reproduced rows/series.
+reproduced rows/series.  The sweep-construction helpers keep the bench
+files declarative: one canonical victim/scheme grid, one way to build
+seed-replicated spec lists, one way to time a runner over them.
 """
 
 from __future__ import annotations
 
 import os
+import time
+from typing import Callable, List, Sequence, Tuple
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Canonical sweep grid shared by the throughput / fault-tolerance /
+#: speedup benches: all three paper gadgets against a scheme sample
+#: spanning the defense families (delay, invisible, partition, fence).
+SWEEP_VICTIMS = ("gdnpeu", "gdmshr", "girs")
+SWEEP_SCHEMES = (
+    "dom-nontso",
+    "invisispec-spectre",
+    "muontrap",
+    "fence-spectre",
+)
 
 
 def emit_report(name: str, text: str) -> str:
@@ -21,3 +36,47 @@ def emit_report(name: str, text: str) -> str:
     print()
     print(text)
     return path
+
+
+def sweep_grid(
+    victims: Sequence[str] = SWEEP_VICTIMS,
+    schemes: Sequence[str] = SWEEP_SCHEMES,
+    *,
+    seeds: Sequence[int] = (0,),
+    **common,
+) -> list:
+    """Victim x scheme x secret specs, replicated across base seeds.
+
+    The one-liner every bench used to hand-roll: ``expand_grid`` over
+    the grid, repeated per ``seeds`` entry (each gets its own stable
+    CRC32-derived per-trial seed).  ``common`` forwards to every
+    :class:`~repro.runner.TrialSpec`.
+    """
+    from repro.runner import expand_grid
+
+    return [
+        spec
+        for base_seed in seeds
+        for spec in expand_grid(
+            list(victims), list(schemes), base_seed=base_seed, **common
+        )
+    ]
+
+
+def with_runner(fn: Callable, **runner_kwargs):
+    """Run ``fn(runner)`` inside a default ``make_runner`` context.
+
+    ``make_runner`` resolves to the serial runner on single-CPU hosts
+    and to a process pool elsewhere; results are identical either way.
+    """
+    from repro.runner import make_runner
+
+    with make_runner(**runner_kwargs) as runner:
+        return fn(runner)
+
+
+def timed_outcomes(runner, specs) -> Tuple[List, float]:
+    """``runner.run_outcomes(specs)`` plus its wall-clock seconds."""
+    start = time.perf_counter()
+    outcomes = runner.run_outcomes(specs)
+    return outcomes, time.perf_counter() - start

@@ -15,9 +15,8 @@ import pytest
 
 from repro.analysis.reporting import format_table
 from repro.core.experiments import fig12_defense_overhead
-from repro.runner import make_runner
 
-from _common import emit_report
+from _common import emit_report, with_runner
 
 SCHEMES = ("fence-spectre", "fence-futuristic")
 
@@ -25,8 +24,9 @@ SCHEMES = ("fence-spectre", "fence-futuristic")
 def run_fig12():
     # The (workload, scheme) grid fans out across processes when the host
     # has the cores for it; rows come back in the same order either way.
-    with make_runner() as runner:
-        return fig12_defense_overhead(schemes=SCHEMES, runner=runner)
+    return with_runner(
+        lambda runner: fig12_defense_overhead(schemes=SCHEMES, runner=runner)
+    )
 
 
 @pytest.mark.benchmark(group="fig12")

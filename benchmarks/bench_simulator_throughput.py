@@ -17,18 +17,16 @@ from repro.isa import ProgramBuilder
 from repro.memory.cache import Cache
 from repro.memory.hierarchy import CacheHierarchy
 from repro.pipeline import Core
-from repro.runner import expand_grid, make_runner
 from repro.workloads.synthetic import workload_by_name
 
-from _common import emit_report
-
-SWEEP_VICTIMS = ["gdnpeu", "gdmshr", "girs"]
-SWEEP_SCHEMES = [
-    "dom-nontso",
-    "invisispec-spectre",
-    "muontrap",
-    "fence-spectre",
-]
+from _common import (
+    SWEEP_SCHEMES,
+    SWEEP_VICTIMS,
+    emit_report,
+    sweep_grid,
+    timed_outcomes,
+    with_runner,
+)
 
 
 @pytest.mark.benchmark(group="throughput")
@@ -70,11 +68,10 @@ def test_bench_full_victim_trial(benchmark):
 @pytest.mark.benchmark(group="throughput")
 def test_bench_sweep_runner(benchmark):
     """A whole victim x scheme x secret sweep through the runner API."""
-    specs = expand_grid(SWEEP_VICTIMS, SWEEP_SCHEMES)
+    specs = sweep_grid()
 
     def body():
-        with make_runner() as runner:
-            return runner.run(specs)
+        return with_runner(lambda runner: runner.run(specs))
 
     result = benchmark.pedantic(body, rounds=1, iterations=1)
     assert len(result) == len(specs)
@@ -156,27 +153,17 @@ def test_bench_snapshot_fork_and_cache_speedup(benchmark, tmp_path):
     """
     from repro.runner import SerialSweepRunner
 
-    specs = [
-        spec
-        for base_seed in (1, 2, 3, 4, 5)
-        for spec in expand_grid(["gdnpeu"], SWEEP_SCHEMES, base_seed=base_seed)
-    ]
+    specs = sweep_grid(["gdnpeu"], SWEEP_SCHEMES, seeds=(1, 2, 3, 4, 5))
 
     def measure():
-        start = time.perf_counter()
-        cold = SerialSweepRunner().run_outcomes(specs)
-        cold_t = time.perf_counter() - start
-
-        start = time.perf_counter()
-        forked = SerialSweepRunner(
-            fork=True, cache_dir=tmp_path
-        ).run_outcomes(specs)
-        fork_t = time.perf_counter() - start
+        cold, cold_t = timed_outcomes(SerialSweepRunner(), specs)
+        forked, fork_t = timed_outcomes(
+            SerialSweepRunner(fork=True, cache_dir=tmp_path), specs
+        )
         assert forked == cold  # bit-identical, not just statistically alike
-
-        start = time.perf_counter()
-        cached = SerialSweepRunner(cache_dir=tmp_path).run_outcomes(specs)
-        cache_t = time.perf_counter() - start
+        cached, cache_t = timed_outcomes(
+            SerialSweepRunner(cache_dir=tmp_path), specs
+        )
         assert cached == cold
         return cold_t, fork_t, cache_t
 

@@ -19,13 +19,12 @@ from repro.runner import (
     ParallelSweepRunner,
     SerialSweepRunner,
     TrialJournal,
-    expand_grid,
 )
 from repro.runner import faults
 
-from _common import emit_report
+from _common import SWEEP_VICTIMS as VICTIMS
+from _common import emit_report, sweep_grid
 
-VICTIMS = ["gdnpeu", "gdmshr", "girs"]
 SCHEMES = ["dom-nontso", "invisispec-spectre", "fence-spectre"]
 
 PLAN = FaultPlan((
@@ -37,7 +36,7 @@ PLAN = FaultPlan((
 
 
 def faulted_resumed_sweep():
-    specs = expand_grid(VICTIMS, SCHEMES)
+    specs = sweep_grid(VICTIMS, SCHEMES)
     reference = SerialSweepRunner().run(specs)
     journal = TrialJournal(os.path.join(tempfile.mkdtemp(), "sweep.jsonl"))
     faults.install_plan(PLAN)

@@ -16,16 +16,12 @@ Fence defenses (not in the paper's table): invulnerable everywhere.
 import pytest
 
 from repro.core.matrix import format_matrix, run_matrix
-from repro.runner import make_runner
 
-from _common import emit_report
+from _common import emit_report, with_runner
 
 
 def build_matrix():
-    # make_runner() resolves to the serial runner on single-CPU hosts and
-    # to a process pool elsewhere; cell order (and content) is identical.
-    with make_runner() as runner:
-        cells = run_matrix(runner=runner)
+    cells = with_runner(lambda runner: run_matrix(runner=runner))
     vulnerable = [c for c in cells if c.vulnerable]
     return cells, vulnerable
 

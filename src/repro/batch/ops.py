@@ -1,0 +1,296 @@
+"""Vectorized cache operations over :class:`~repro.batch.state.LaneCache`.
+
+Each function mirrors one method of the scalar :class:`repro.memory.
+cache.Cache` — same state transitions, same statistics order, same
+event emission order — applied to a *subset of lanes* at once.  The
+replacement policies are exact vector translations of
+:mod:`repro.memory.replacement` / :mod:`repro.memory.qlru`; the
+differential suite proves the equivalence per scheme, and the
+snapshot round-trip property pins the state layout.
+
+``lanes`` arguments are int64 arrays of global lane indices; ``line``
+is a (scalar) line address shared by the subset — per-lane divergent
+addresses (inclusive back-invalidation of different victims) are
+handled by the engine with single-lane calls.  ``sink`` is the
+engine's per-lane event recorder, or None when tracing is off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol
+
+from repro.batch._numpy import np
+from repro.batch.state import QLRU_INSERT_AGE, QLRU_MAX_AGE, LaneCache
+from repro.trace.events import EventKind
+
+#: QLRU hit promotion (H11): age' = table[age]  ({3:1, 2:1, 1:0, 0:0}).
+_QLRU_HIT_TABLE = None
+
+
+def _qlru_hit_table() -> Any:
+    global _QLRU_HIT_TABLE
+    if _QLRU_HIT_TABLE is None:
+        _QLRU_HIT_TABLE = np.array([0, 0, 1, 1], dtype=np.int64)
+    return _QLRU_HIT_TABLE
+
+
+class EventSink(Protocol):
+    """Per-lane event recorder (see ``repro.batch.engine``)."""
+
+    def emit(self, lane: int, kind: EventKind, **args: Any) -> None: ...
+
+
+# ----------------------------------------------------------------------
+# lookup helpers
+# ----------------------------------------------------------------------
+def way_of(lc: LaneCache, lanes: Any, gset: int, line: int) -> Any:
+    """Per-lane (way, hit) for ``line`` in set ``gset``.
+
+    Returns ``(ways, hit)``: ``ways[i]`` is meaningful only where
+    ``hit[i]`` is True.
+    """
+    block = lc.lines[lanes, gset, :]
+    eq = block == line
+    return eq.argmax(axis=1), eq.any(axis=1)
+
+
+# ----------------------------------------------------------------------
+# replacement-policy mirrors
+# ----------------------------------------------------------------------
+def _plru_update(lc: LaneCache, lanes: Any, gset: int, ways: Any) -> None:
+    node = np.zeros(len(lanes), dtype=np.int64)
+    span = lc.num_ways
+    while span > 1:
+        span //= 2
+        left = (ways % (span * 2)) < span
+        lc.pol_bits[lanes, gset, node] = np.where(left, 1, 0)
+        node = 2 * node + np.where(left, 1, 2)
+
+
+def _plru_select(lc: LaneCache, lanes: Any, gset: int) -> Any:
+    node = np.zeros(len(lanes), dtype=np.int64)
+    ways = np.zeros(len(lanes), dtype=np.int64)
+    span = lc.num_ways
+    while span > 1:
+        span //= 2
+        bits = lc.pol_bits[lanes, gset, node]
+        ways = ways + span * bits
+        node = 2 * node + np.where(bits == 1, 2, 1)
+    return ways
+
+
+def policy_on_hit(lc: LaneCache, lanes: Any, gset: int, ways: Any) -> None:
+    if len(lanes) == 0:
+        return
+    policy = lc.policy
+    if policy == "lru":
+        lc.pol_stamp[lanes, gset] += 1
+        lc.pol_last_use[lanes, gset, ways] = lc.pol_stamp[lanes, gset]
+    elif policy == "nru":
+        lc.pol_ref[lanes, gset, ways] = 1
+        saturated = lc.pol_ref[lanes, gset, :].all(axis=1)
+        if saturated.any():
+            sat_lanes = lanes[saturated]
+            sat_ways = ways[saturated]
+            lc.pol_ref[sat_lanes, gset, :] = 0
+            lc.pol_ref[sat_lanes, gset, sat_ways] = 1
+    elif policy == "srrip":
+        lc.pol_rrpv[lanes, gset, ways] = 0
+    elif policy == "plru":
+        _plru_update(lc, lanes, gset, ways)
+    elif policy == "qlru":
+        old = lc.pol_age[lanes, gset, ways]
+        lc.pol_age[lanes, gset, ways] = _qlru_hit_table()[old]
+    # random: no metadata
+
+
+def policy_on_fill(lc: LaneCache, lanes: Any, gset: int, ways: Any) -> None:
+    if len(lanes) == 0:
+        return
+    policy = lc.policy
+    if policy == "srrip":
+        lc.pol_rrpv[lanes, gset, ways] = lc.max_rrpv - 1
+    elif policy == "qlru":
+        lc.pol_age[lanes, gset, ways] = QLRU_INSERT_AGE
+    else:
+        # LRU touch, NRU bit set, PLRU update (all identical to on_hit).
+        policy_on_hit(lc, lanes, gset, ways)
+
+
+def policy_on_invalidate(
+    lc: LaneCache, lanes: Any, gset: int, ways: Any
+) -> None:
+    if lc.policy == "qlru" and len(lanes):
+        lc.pol_age[lanes, gset, ways] = QLRU_MAX_AGE
+
+
+def select_victim(lc: LaneCache, lanes: Any, gset: int) -> Any:
+    """Per-lane victim way, preferring the first invalid way (every
+    scalar policy does), then applying the policy."""
+    block = lc.lines[lanes, gset, :]
+    invalid = block == -1
+    ways = invalid.argmax(axis=1)
+    need = ~invalid.any(axis=1)
+    if not need.any():
+        return ways
+    sub = lanes[need]
+    policy = lc.policy
+    if policy == "lru":
+        ways[need] = lc.pol_last_use[sub, gset, :].argmin(axis=1)
+    elif policy == "random":
+        chosen = np.empty(len(sub), dtype=np.int64)
+        for j, lane in enumerate(sub.tolist()):
+            chosen[j] = lc.rngs[lane].randrange(lc.num_ways)
+        ways[need] = chosen
+    elif policy == "nru":
+        ref = lc.pol_ref[sub, gset, :]
+        zero = ref == 0
+        # First clear bit, else way 0 (scalar fallthrough).
+        ways[need] = np.where(zero.any(axis=1), zero.argmax(axis=1), 0)
+    elif policy == "srrip":
+        rrpv = lc.pol_rrpv[sub, gset, :]
+        # Scalar ages every way by +1 until one reaches max_rrpv; the
+        # saturating form min(r + deficit, max) is exactly that many
+        # rounds applied at once (zero rounds when a max already exists).
+        deficit = lc.max_rrpv - rrpv.max(axis=1)
+        aged = np.minimum(rrpv + deficit[:, None], lc.max_rrpv)
+        lc.pol_rrpv[sub, gset, :] = aged
+        ways[need] = (aged == lc.max_rrpv).argmax(axis=1)
+    elif policy == "plru":
+        ways[need] = _plru_select(lc, sub, gset)
+    elif policy == "qlru":
+        age = lc.pol_age[sub, gset, :]
+        deficit = QLRU_MAX_AGE - age.max(axis=1)
+        aged = np.minimum(age + deficit[:, None], QLRU_MAX_AGE)
+        lc.pol_age[sub, gset, :] = aged
+        ways[need] = (aged == QLRU_MAX_AGE).argmax(axis=1)
+    return ways
+
+
+# ----------------------------------------------------------------------
+# cache-method mirrors
+# ----------------------------------------------------------------------
+def cache_access(
+    lc: LaneCache,
+    lanes: Any,
+    line: int,
+    update: bool,
+    sink: Optional[EventSink],
+) -> Any:
+    """Mirror of ``Cache.access``; returns the per-lane hit mask."""
+    gset = lc.global_set(line)
+    ways, hit = way_of(lc, lanes, gset, line)
+    miss_lanes = lanes[~hit]
+    if len(miss_lanes):
+        lc.stats[miss_lanes, 1] += 1
+        if sink is not None:
+            for lane in miss_lanes.tolist():
+                sink.emit(
+                    lane,
+                    EventKind.CACHE_MISS,
+                    cache=lc.name,
+                    line=line,
+                    update=update,
+                )
+    hit_lanes = lanes[hit]
+    if len(hit_lanes):
+        lc.stats[hit_lanes, 0] += 1
+        if update:
+            policy_on_hit(lc, hit_lanes, gset, ways[hit])
+        if sink is not None:
+            for lane in hit_lanes.tolist():
+                sink.emit(
+                    lane,
+                    EventKind.CACHE_HIT,
+                    cache=lc.name,
+                    line=line,
+                    update=update,
+                )
+    return hit
+
+
+def cache_fill(
+    lc: LaneCache,
+    lanes: Any,
+    line: int,
+    update: bool,
+    sink: Optional[EventSink],
+) -> Any:
+    """Mirror of ``Cache.fill``; returns per-lane evicted lines (-1 for
+    none, including the already-resident metadata-touch case).
+
+    The caller is responsible for the ``on_evict`` side effects
+    (inclusive back-invalidation), exactly like the scalar hierarchy.
+    """
+    gset = lc.global_set(line)
+    ways, resident = way_of(lc, lanes, gset, line)
+    evicted = np.full(len(lanes), -1, dtype=np.int64)
+    res_lanes = lanes[resident]
+    if len(res_lanes) and update:
+        policy_on_hit(lc, res_lanes, gset, ways[resident])
+    need = ~resident
+    if need.any():
+        sub = lanes[need]
+        victims = select_victim(lc, sub, gset)
+        ev = lc.lines[sub, gset, victims]
+        lc.lines[sub, gset, victims] = line
+        lc.stats[sub, 2] += 1
+        if update:
+            policy_on_fill(lc, sub, gset, victims)
+        if sink is not None:
+            for j, lane in enumerate(sub.tolist()):
+                sink.emit(
+                    lane, EventKind.CACHE_FILL, cache=lc.name, line=line
+                )
+                if ev[j] != -1:
+                    sink.emit(
+                        lane,
+                        EventKind.CACHE_EVICT,
+                        cache=lc.name,
+                        line=int(ev[j]),
+                        reason="capacity",
+                    )
+        kicked = ev != -1
+        if kicked.any():
+            lc.stats[sub[kicked], 3] += 1
+        evicted[need] = ev
+    return evicted
+
+
+def cache_touch(lc: LaneCache, lanes: Any, line: int) -> Any:
+    """Mirror of ``Cache.touch``; returns the per-lane resident mask."""
+    gset = lc.global_set(line)
+    ways, present = way_of(lc, lanes, gset, line)
+    present_lanes = lanes[present]
+    if len(present_lanes):
+        policy_on_hit(lc, present_lanes, gset, ways[present])
+    return present
+
+
+def cache_invalidate(
+    lc: LaneCache, lanes: Any, line: int, sink: Optional[EventSink]
+) -> Any:
+    """Mirror of ``Cache.invalidate``; returns per-lane dropped mask."""
+    gset = lc.global_set(line)
+    ways, present = way_of(lc, lanes, gset, line)
+    present_lanes = lanes[present]
+    if len(present_lanes):
+        lc.lines[present_lanes, gset, ways[present]] = -1
+        policy_on_invalidate(lc, present_lanes, gset, ways[present])
+        lc.stats[present_lanes, 4] += 1
+        if sink is not None:
+            for lane in present_lanes.tolist():
+                sink.emit(
+                    lane,
+                    EventKind.CACHE_EVICT,
+                    cache=lc.name,
+                    line=line,
+                    reason="invalidate",
+                )
+    return present
+
+
+def cache_contains(lc: LaneCache, lanes: Any, line: int) -> Any:
+    """Mirror of ``Cache.contains``: pure per-lane presence mask."""
+    gset = lc.global_set(line)
+    return (lc.lines[lanes, gset, :] == line).any(axis=1)

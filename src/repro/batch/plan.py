@@ -1,0 +1,81 @@
+"""Batch-group planning: which specs can run lanes-in-lockstep.
+
+A batch group is a set of :class:`~repro.runner.spec.TrialSpec`s that
+differ only in ``secret``, ``seed`` (inert for eligible specs), and
+``reference_accesses`` — the attacker's fixed-cycle "clock" reads of
+§3.3.  Reference-access sweeps are exactly the dimension the
+snapshot-fork engine cannot merge (its group key keeps the schedule),
+and exactly what the batched SoA engine simulates as follower lanes.
+
+Eligibility is stricter than fork's: the engine mirrors the memory
+system only, so anything that makes per-trial behaviour depend on
+state outside it (noise injection, fault plans — checked by the
+runner), on per-cycle hooks (sanitizers), or on RNG draw order
+(DRAM jitter) stays on the fork/cold paths.  Metrics and snapshot
+collection need the variant's own Machine, which follower lanes do
+not have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.batch._numpy import HAVE_NUMPY
+from repro.runner.spec import TrialSpec
+
+#: Minimum lanes (distinct reference schedules) worth a mirror: a group
+#: with one schedule is a plain fork group, and fork's relabeling is
+#: strictly cheaper than mirroring.
+MIN_LANES = 2
+
+
+def batch_eligible(spec: TrialSpec) -> bool:
+    """True when the lockstep mirror can soundly simulate this spec."""
+    if not HAVE_NUMPY:
+        return False
+    if spec.sanitize or spec.noise_rate > 0.0:
+        return False
+    if spec.collect_metrics or spec.snapshot_dir is not None:
+        return False
+    if spec.hierarchy_config is not None:
+        return spec.hierarchy_config.dram_jitter == 0
+    from repro.core.victims import ATTACK_HIERARCHY
+
+    return ATTACK_HIERARCHY.dram_jitter == 0
+
+
+def group_key(spec: TrialSpec) -> str:
+    """Digest with the batchable dimensions normalized out."""
+    return (
+        "batch:"
+        + replace(spec, secret=0, seed=0, reference_accesses=()).digest()
+    )
+
+
+def plan_batch_groups(
+    specs: Sequence[TrialSpec],
+) -> Tuple[List[List[int]], List[int]]:
+    """Partition spec indices into batch groups and a passthrough rest.
+
+    Returns ``(groups, passthrough)``: each group is a list of indices
+    (in spec order) whose specs differ only in secret / seed /
+    reference schedule, with at least :data:`MIN_LANES` distinct
+    schedules; everything else flows to the fork/cold layers.
+    """
+    buckets: Dict[str, List[int]] = {}
+    passthrough: List[int] = []
+    for i, spec in enumerate(specs):
+        if not batch_eligible(spec):
+            passthrough.append(i)
+            continue
+        buckets.setdefault(group_key(spec), []).append(i)
+    groups: List[List[int]] = []
+    for indices in buckets.values():
+        schedules = {tuple(specs[i].reference_accesses) for i in indices}
+        if len(indices) >= MIN_LANES and len(schedules) >= MIN_LANES:
+            groups.append(indices)
+        else:
+            passthrough.extend(indices)
+    passthrough.sort()
+    return groups, passthrough

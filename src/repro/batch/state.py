@@ -1,0 +1,272 @@
+"""Structure-of-arrays mirror of N cache-hierarchy snapshots.
+
+:class:`BatchState` holds the memory-system state of N sweep *lanes* as
+numpy arrays keyed by lane index.  The layout spec is the Snapshot
+protocol: ``BatchState.from_snapshots(hierarchy, captures)`` ingests the
+exact flat tuples produced by ``CacheHierarchy.capture()``, and
+``to_snapshot(lane)`` reproduces them bit-for-bit — the round trip is
+property-tested for every replacement policy, so the SoA layout can
+never silently drift from the scalar capture schema.
+
+Array layout per cache level (10 caches in ``all_caches()`` order):
+
+* ``lines[N, total_sets, ways]`` — resident line addresses, ``-1`` for
+  an invalid way (the scalar capture uses ``None``).
+* ``stats[N, 5]`` — hits, misses, fills, evictions, invalidations.
+* per-policy metadata arrays (LRU stamps, RRPV counters, PLRU tree
+  bits, ...), mirroring the scalar policies' ``snapshot_state()``.
+
+State that is touched rarely (DRAM contents, coherence sharer maps,
+per-lane RNG mirrors, the visible-access log) stays as per-lane Python
+objects: the win of the batched engine is skipping N-1 pipeline
+simulations, not vectorizing dictionary writes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.batch._numpy import np, require_numpy
+from repro.memory.cache import Cache
+from repro.memory.coherence import CoherenceDirectory, CoherenceState
+from repro.memory.hierarchy import CacheHierarchy, VisibleAccess
+from repro.memory.main_memory import MainMemory
+from repro.memory.mshr import MSHRFile
+
+#: QLRU constants mirrored from :mod:`repro.memory.qlru`.
+QLRU_MAX_AGE = 3
+QLRU_INSERT_AGE = 1
+
+
+class BatchSchemaError(RuntimeError):
+    """A scalar component's snapshot layout is not the one this SoA
+    mirror was written against.  Raised loudly instead of producing
+    silently wrong batched results."""
+
+
+def _check_snapshot_versions() -> None:
+    """The SoA layout below hand-mirrors the version-1 capture tuples;
+    fail hard if any component has since been re-versioned."""
+    expected = {
+        Cache: 1,
+        CacheHierarchy: 1,
+        MainMemory: 1,
+        MSHRFile: 1,
+        CoherenceDirectory: 1,
+    }
+    for cls, version in expected.items():
+        actual = getattr(cls, "SNAP_VERSION", None)
+        if actual != version:
+            raise BatchSchemaError(
+                f"{cls.__name__}.SNAP_VERSION is {actual}, but repro.batch "
+                f"mirrors capture layout version {version}; update the SoA "
+                "layout in repro.batch.state before batching again"
+            )
+
+
+class LaneCache:
+    """SoA state of one cache level across all lanes."""
+
+    def __init__(self, template: Cache, n_lanes: int) -> None:
+        require_numpy()
+        self.name = template.name
+        self.policy = template.policy_name.lower()
+        self.num_ways = template.num_ways
+        self.layout = template.layout
+        self.global_set = template.layout.global_set
+        self.total_sets = template.layout.num_sets * template.layout.num_slices
+        self.n_lanes = n_lanes
+        n, s, w = n_lanes, self.total_sets, self.num_ways
+        self.lines: Any = np.full((n, s, w), -1, dtype=np.int64)
+        self.stats: Any = np.zeros((n, 5), dtype=np.int64)
+        #: Per-lane RNG mirrors (the hierarchy's shared policy RNG),
+        #: assigned by :class:`BatchState`; drawn only by random-policy
+        #: victim selection.
+        self.rngs: List[random.Random] = []
+        self.max_rrpv = 0
+        if self.policy == "lru":
+            self.pol_stamp: Any = np.zeros((n, s), dtype=np.int64)
+            self.pol_last_use: Any = np.zeros((n, s, w), dtype=np.int64)
+        elif self.policy == "nru":
+            self.pol_ref: Any = np.zeros((n, s, w), dtype=np.int64)
+        elif self.policy == "srrip":
+            self.max_rrpv = template._sets[0].policy.max_rrpv  # type: ignore[attr-defined]
+            self.pol_rrpv: Any = np.zeros((n, s, w), dtype=np.int64)
+        elif self.policy == "plru":
+            self.pol_bits: Any = np.zeros((n, s, max(w - 1, 1)), dtype=np.int64)
+        elif self.policy == "qlru":
+            self.pol_age: Any = np.zeros((n, s, w), dtype=np.int64)
+        elif self.policy != "random":
+            raise BatchSchemaError(f"unknown replacement policy {self.policy!r}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_captures(
+        cls, template: Cache, captures: Sequence[Tuple]
+    ) -> "LaneCache":
+        """Build the SoA from per-lane ``Cache.capture()`` tuples."""
+        lc = cls(template, len(captures))
+        for lane, (sets_state, stats) in enumerate(captures):
+            if len(sets_state) != lc.total_sets:
+                raise BatchSchemaError(
+                    f"{lc.name}: capture has {len(sets_state)} sets, "
+                    f"geometry says {lc.total_sets}"
+                )
+            for s, (lines, policy_state) in enumerate(sets_state):
+                lc.lines[lane, s, :] = [
+                    -1 if line is None else line for line in lines
+                ]
+                lc._load_policy_state(lane, s, policy_state)
+            lc.stats[lane, :] = stats
+        return lc
+
+    def _load_policy_state(
+        self, lane: int, s: int, state: Tuple
+    ) -> None:
+        fields: Dict[str, Any] = dict(state)
+        if self.policy == "lru":
+            self.pol_stamp[lane, s] = fields.pop("_stamp")
+            self.pol_last_use[lane, s, :] = fields.pop("_last_use")
+        elif self.policy == "nru":
+            self.pol_ref[lane, s, :] = fields.pop("_ref")
+        elif self.policy == "srrip":
+            self.pol_rrpv[lane, s, :] = fields.pop("_rrpv")
+        elif self.policy == "plru":
+            self.pol_bits[lane, s, :] = fields.pop("_bits")
+        elif self.policy == "qlru":
+            self.pol_age[lane, s, :] = fields.pop("_age")
+        if fields:
+            raise BatchSchemaError(
+                f"{self.name}: unexpected policy snapshot fields "
+                f"{sorted(fields)} for policy {self.policy!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def _policy_snapshot(self, lane: int, s: int) -> Tuple:
+        """Reproduce ``SetPolicy.snapshot_state()`` (sorted name order)."""
+        if self.policy == "lru":
+            return (
+                ("_last_use", self.pol_last_use[lane, s, :].tolist()),
+                ("_stamp", int(self.pol_stamp[lane, s])),
+            )
+        if self.policy == "nru":
+            return (("_ref", self.pol_ref[lane, s, :].tolist()),)
+        if self.policy == "srrip":
+            return (("_rrpv", self.pol_rrpv[lane, s, :].tolist()),)
+        if self.policy == "plru":
+            return (("_bits", self.pol_bits[lane, s, :].tolist()),)
+        if self.policy == "qlru":
+            return (("_age", self.pol_age[lane, s, :].tolist()),)
+        return ()
+
+    def to_snapshot(self, lane: int) -> Tuple:
+        """Exact ``Cache.capture()`` tuple for one lane."""
+        sets_state = []
+        for s in range(self.total_sets):
+            lines = tuple(
+                None if line == -1 else line
+                for line in self.lines[lane, s, :].tolist()
+            )
+            sets_state.append((lines, self._policy_snapshot(lane, s)))
+        return (tuple(sets_state), tuple(self.stats[lane, :].tolist()))
+
+
+class BatchState:
+    """All-lane memory-system state; see module docstring."""
+
+    def __init__(self, hierarchy: CacheHierarchy, n_lanes: int) -> None:
+        require_numpy()
+        _check_snapshot_versions()
+        self.hierarchy = hierarchy
+        self.config = hierarchy.config
+        self.num_cores = hierarchy.num_cores
+        self.n_lanes = n_lanes
+        #: ``all_caches()`` order: per-core (l1i, l1d, l2), then the LLC.
+        self.caches: List[LaneCache] = []
+        #: Per-lane sparse DRAM contents / RNG state / access counters.
+        self.mem_data: List[Dict[int, int]] = []
+        self.mem_rng_state: List[Tuple] = []
+        self.mem_reads: Any = np.zeros(n_lanes, dtype=np.int64)
+        self.mem_writes: Any = np.zeros(n_lanes, dtype=np.int64)
+        #: Per-lane MSHR-file captures.  MSHR traffic is victim-driven
+        #: and therefore uniform across converged lanes; the engine
+        #: overwrites these with the leader's final capture at finish.
+        self.mshrs: List[Tuple] = []
+        self.visible_log: List[List[VisibleAccess]] = []
+        #: Per-lane coherence sharer maps (``line -> {core: state}``),
+        #: or None when coherence is disabled.
+        self.coherence: List[Optional[Dict[int, Dict[int, CoherenceState]]]] = []
+        #: invalidations_sent, downgrades, upgrades, writeback_penalties
+        self.coh_stats: Any = np.zeros((n_lanes, 4), dtype=np.int64)
+        #: Per-lane mirrors of the hierarchy's shared policy RNG.
+        self.policy_rng: List[random.Random] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshots(
+        cls, hierarchy: CacheHierarchy, captures: Sequence[Tuple]
+    ) -> "BatchState":
+        """Ingest per-lane ``CacheHierarchy.capture()`` tuples."""
+        state = cls(hierarchy, len(captures))
+        templates = hierarchy.all_caches()
+        for j, template in enumerate(templates):
+            state.caches.append(
+                LaneCache.from_captures(
+                    template, [capture[0][j] for capture in captures]
+                )
+            )
+        for lane, capture in enumerate(captures):
+            _caches, memory, mshrs, log, coherence, rng_state = capture
+            data, mem_rng, reads, writes = memory
+            state.mem_data.append(dict(data))
+            state.mem_rng_state.append(mem_rng)
+            state.mem_reads[lane] = reads
+            state.mem_writes[lane] = writes
+            state.mshrs.append(mshrs)
+            state.visible_log.append(list(log))
+            if coherence is None:
+                state.coherence.append(None)
+            else:
+                sharers, coh_stats = coherence
+                state.coherence.append(
+                    {line: dict(entry) for line, entry in sharers}
+                )
+                state.coh_stats[lane, :] = coh_stats
+            rng = random.Random()
+            rng.setstate(rng_state)
+            state.policy_rng.append(rng)
+        for lane_cache in state.caches:
+            lane_cache.rngs = state.policy_rng
+        return state
+
+    # ------------------------------------------------------------------
+    def to_snapshot(self, lane: int) -> Tuple:
+        """Exact ``CacheHierarchy.capture()`` tuple for one lane."""
+        coherence: Optional[Tuple] = None
+        sharer_map = self.coherence[lane]
+        if sharer_map is not None:
+            coherence = (
+                tuple(
+                    (line, tuple(entry.items()))
+                    for line, entry in sharer_map.items()
+                ),
+                tuple(self.coh_stats[lane, :].tolist()),
+            )
+        return (
+            tuple(cache.to_snapshot(lane) for cache in self.caches),
+            (
+                dict(self.mem_data[lane]),
+                self.mem_rng_state[lane],
+                int(self.mem_reads[lane]),
+                int(self.mem_writes[lane]),
+            ),
+            self.mshrs[lane],
+            tuple(self.visible_log[lane]),
+            coherence,
+            self.policy_rng[lane].getstate(),
+        )
+
+    def restore_into(self, hierarchy: CacheHierarchy, lane: int) -> None:
+        """Eject one lane back to a scalar hierarchy (divergence exit)."""
+        hierarchy.restore(self.to_snapshot(lane))

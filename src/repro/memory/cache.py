@@ -119,6 +119,11 @@ class Cache:
         #: Optional :class:`repro.trace.Tracer` (cycle/core come from its
         #: context, stamped by the hierarchy).  None = tracing off.
         self.tracer = None
+        #: Optional mirror observer (``repro.batch``): consulted after
+        #: :meth:`contains` with the answer.  The lockstep engine sets it
+        #: only on the LLC, where schemes perform direct presence checks
+        #: that bypass the hierarchy-level helpers.
+        self.observer = None
 
     # ------------------------------------------------------------------
     def _set_for(self, addr: int) -> _CacheSet:
@@ -126,10 +131,14 @@ class Cache:
 
     def contains(self, addr: int) -> bool:
         """Pure lookup: no state change, no stats."""
-        return (
+        present = (
             self._sets[self._global_set(addr)].way_of(addr & self._line_mask)
             is not None
         )
+        observer = self.observer
+        if observer is not None:
+            observer.on_contains(self, addr, present)
+        return present
 
     def access(self, addr: int, *, update: bool = True) -> bool:
         """Lookup; returns hit.  ``update=False`` leaves metadata untouched."""

@@ -158,6 +158,12 @@ class CacheHierarchy:
         #: Optional :class:`repro.trace.Tracer`; installed by
         #: ``repro.trace.install_tracer`` (None = tracing off, free).
         self.tracer = None
+        #: Optional mirror observer (``repro.batch``): consulted *after*
+        #: each hierarchy operation with the arguments and the real
+        #: result, so a batched lockstep engine can replay the operation
+        #: against follower lanes and compare.  None = off (one attribute
+        #: load per operation, same contract as :attr:`tracer`).
+        self.observer = None
         self.coherence: Optional[CoherenceDirectory] = None
         if cfg.enable_coherence:
             self.coherence = CoherenceDirectory(
@@ -200,6 +206,20 @@ class CacheHierarchy:
         the line and report the latency it would have taken, with no
         state change anywhere.
         """
+        result = self._access_impl(core, addr, kind, visible, cycle)
+        observer = self.observer
+        if observer is not None:
+            observer.on_access(core, addr, kind, visible, cycle, result)
+        return result
+
+    def _access_impl(
+        self,
+        core: int,
+        addr: int,
+        kind: AccessKind,
+        visible: bool,
+        cycle: int,
+    ) -> AccessResult:
         tracer = self.tracer
         if tracer is not None:
             # Stamp the tracer's context so the leaf caches/MSHR files
@@ -271,8 +291,11 @@ class CacheHierarchy:
             for other in invalidated:
                 self.l1d[other].invalidate(line)
                 self.l2[other].invalidate(line)
-        result = self.access(core, addr, AccessKind.DATA, visible=True, cycle=cycle)
+        result = self._access_impl(core, addr, AccessKind.DATA, True, cycle)
         result.latency += penalty
+        observer = self.observer
+        if observer is not None:
+            observer.on_write(core, addr, value, cycle, result)
         return result
 
     # ------------------------------------------------------------------
@@ -288,10 +311,21 @@ class CacheHierarchy:
 
     def l1_hit(self, core: int, addr: int, kind: AccessKind = AccessKind.DATA) -> bool:
         """Non-destructive L1 presence check (DoM's hit/miss decision)."""
-        return self._l1(core, kind).contains(addr)
+        hit = self._l1(core, kind).contains(addr)
+        observer = self.observer
+        if observer is not None:
+            observer.on_l1_hit(core, addr, kind, hit)
+        return hit
 
     def hit_level(self, core: int, addr: int, kind: AccessKind = AccessKind.DATA) -> str:
         """Where an access would currently hit (no state change)."""
+        level = self._hit_level_impl(core, addr, kind)
+        observer = self.observer
+        if observer is not None:
+            observer.on_hit_level(core, addr, kind, level)
+        return level
+
+    def _hit_level_impl(self, core: int, addr: int, kind: AccessKind) -> str:
         if self._l1(core, kind).contains(addr):
             return "L1"
         if self.l2[core].contains(addr):
@@ -302,7 +336,11 @@ class CacheHierarchy:
 
     def touch_l1(self, core: int, addr: int, kind: AccessKind = AccessKind.DATA) -> bool:
         """Apply a deferred L1 replacement update (DoM exposure)."""
-        return self._l1(core, kind).touch(addr)
+        touched = self._l1(core, kind).touch(addr)
+        observer = self.observer
+        if observer is not None:
+            observer.on_touch_l1(core, addr, kind, touched)
+        return touched
 
     def flush(self, addr: int) -> None:
         """clflush: drop the line from every cache in the system."""
@@ -314,6 +352,9 @@ class CacheHierarchy:
         self.llc.invalidate(line)
         if self.coherence is not None:
             self.coherence.on_flush(line)
+        observer = self.observer
+        if observer is not None:
+            observer.on_flush(addr)
 
     def flush_all(self) -> None:
         for c in range(self.num_cores):

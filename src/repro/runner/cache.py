@@ -46,6 +46,9 @@ class TrialCache:
         self.cache_dir = os.fspath(cache_dir)
         self.hits = 0
         self.misses = 0
+        #: Writes refused because the outcome was not ``ok`` (failures
+        #: re-run rather than memoize).
+        self.bypasses = 0
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
@@ -83,6 +86,7 @@ class TrialCache:
         from repro.snapshot.schema import state_schema_hash
 
         if not outcome.ok:
+            self.bypasses += 1
             return False
         schema = state_schema_hash()
         path = self._path(cache_key(spec, schema))
@@ -117,4 +121,8 @@ class TrialCache:
         return os.path.exists(self._path(cache_key(spec)))
 
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+        }

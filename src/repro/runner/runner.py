@@ -281,6 +281,19 @@ def _run_fork_group_outcomes(specs: List[TrialSpec]):
     return outcomes
 
 
+def _run_batch_group_outcomes(specs: List[TrialSpec]):
+    """Pool-dispatchable batch-group body (module-level, picklable by
+    reference).  Returns aligned outcomes, or None when the group must
+    fall back to the fork/cold layers."""
+    from repro.batch.engine import run_batch_group
+
+    outcomes = run_batch_group(specs)
+    if outcomes is not None:
+        for outcome in outcomes:
+            _check_lean_transport(outcome)
+    return outcomes
+
+
 class SweepRunner:
     """Interface shared by the serial and parallel runners."""
 
@@ -292,9 +305,27 @@ class SweepRunner:
     #: Snapshot/fork execution (:mod:`repro.snapshot.fork`): trials
     #: differing only in secret/seed share one simulated prefix.
     fork: bool = False
+    #: Batched lockstep execution (:mod:`repro.batch`): trials differing
+    #: only in secret/seed/reference schedule step as SoA lanes of one
+    #: leader run per secret.  Requires numpy; silently inert without it.
+    batch: bool = False
     #: Content-addressed trial cache directory
     #: (:class:`repro.runner.cache.TrialCache`); None disables caching.
     cache_dir: Optional[str] = None
+    #: Lazily created :class:`~repro.runner.cache.TrialCache` for
+    #: ``cache_dir`` (one instance per runner, so its hit/miss/bypass
+    #: counters accumulate across runs); None when caching is off.
+    _trial_cache = None
+
+    @property
+    def trial_cache(self):
+        if self.cache_dir is None:
+            return None
+        if self._trial_cache is None:
+            from repro.runner.cache import TrialCache
+
+            self._trial_cache = TrialCache(self.cache_dir)
+        return self._trial_cache
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         raise NotImplementedError
@@ -321,26 +352,29 @@ class SweepRunner:
            snapshot state-schema hash) is already in ``cache_dir``
            return their memoized outcome without simulating;
         2. **journal merge** — checkpointed outcomes are reused;
-        3. **fork groups** — with ``fork=True`` (and no fault plan
+        3. **batch groups** — with ``batch=True`` (numpy present, no
+           fault plan active), remaining specs that differ only in
+           secret/seed/reference schedule step as lockstep SoA lanes of
+           one leader run per secret (:mod:`repro.batch`);
+        4. **fork groups** — with ``fork=True`` (and no fault plan
            active), remaining specs that differ only in secret/seed run
            as probe-plus-forked-variants groups;
-        4. everything still unresolved runs cold, exactly as before;
-        5. fresh ``ok`` outcomes are written back to the cache.
+        5. everything still unresolved runs cold, exactly as before;
+        6. fresh ``ok`` outcomes are written back to the cache.
         """
         specs = list(specs)
         outcomes: List[Optional[TrialOutcome]] = [None] * len(specs)
-        cache = None
+        cache = self.trial_cache
         cached: set = set()
-        if self.cache_dir is not None:
-            from repro.runner.cache import TrialCache
-
-            cache = TrialCache(self.cache_dir)
+        if cache is not None:
             for i, spec in enumerate(specs):
                 hit = cache.get(spec)
                 if hit is not None:
                     outcomes[i] = hit
                     cached.add(i)
         _merge_journal(specs, outcomes, journal)
+        if self.batch and faults.current_plan() is None:
+            self._run_batch_groups(specs, outcomes, journal)
         if self.fork and faults.current_plan() is None:
             self._run_fork_groups(specs, outcomes, journal)
         rest = [i for i in range(len(specs)) if outcomes[i] is None]
@@ -357,6 +391,45 @@ class SweepRunner:
                 if i not in cached and outcome is not None:
                     cache.put(specs[i], outcome)
         return outcomes  # type: ignore[return-value]
+
+    def _run_batch_groups(
+        self,
+        specs: List[TrialSpec],
+        outcomes: List[Optional[TrialOutcome]],
+        journal: Optional[TrialJournal],
+    ) -> None:
+        """Fill ``outcomes`` slots via batched lockstep execution where
+        it applies; anything it cannot cover (ineligible specs, groups
+        without enough distinct reference schedules, a failed group)
+        stays None for the fork/cold layers."""
+        from repro.batch.plan import plan_batch_groups
+
+        pending = [i for i in range(len(specs)) if outcomes[i] is None]
+        groups, _ = plan_batch_groups([specs[i] for i in pending])
+        group_indices = [[pending[j] for j in group] for group in groups]
+        if not group_indices:
+            return
+        try:
+            results = self.map(
+                _run_batch_group_outcomes,
+                [[specs[i] for i in group] for group in group_indices],
+            )
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            # Pool-level failure: the fork/cold layers below re-run
+            # everything with their own fault tolerance.
+            results = [None] * len(group_indices)
+            reset = getattr(self, "_reset_pool", None)
+            if reset is not None:
+                reset()
+        for group, group_outcomes in zip(group_indices, results):
+            if group_outcomes is None:
+                continue  # group failed; falls through to fork/cold
+            for i, outcome in zip(group, group_outcomes):
+                outcomes[i] = outcome
+                if journal is not None and journal.should_record(outcome):
+                    journal.record(outcome)
 
     def _run_fork_groups(
         self,
@@ -413,12 +486,14 @@ class SweepRunner:
         """
         start = time.perf_counter()
         outcomes = self.run_outcomes(specs, journal=journal)
+        cache = self.trial_cache
         result = SweepResult(
             summaries=[o.summary for o in outcomes if o.ok],
             elapsed=time.perf_counter() - start,
             workers=self.workers,
             failures=[o for o in outcomes if not o.ok],
             outcomes=outcomes,
+            cache_stats=cache.stats() if cache is not None else None,
         )
         if metrics_path is not None:
             from repro.runner.metrics_io import write_sweep_metrics
@@ -494,10 +569,12 @@ class SerialSweepRunner(SweepRunner):
         *,
         max_retries: int = 2,
         fork: bool = False,
+        batch: bool = False,
         cache_dir: Optional[str] = None,
     ) -> None:
         self.max_retries = max_retries
         self.fork = fork
+        self.batch = batch
         self.cache_dir = cache_dir
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
@@ -540,12 +617,14 @@ class ParallelSweepRunner(SweepRunner):
         max_retries: int = 2,
         trial_timeout: Optional[float] = None,
         fork: bool = False,
+        batch: bool = False,
         cache_dir: Optional[str] = None,
     ) -> None:
         self.workers = max(1, workers if workers is not None else default_workers())
         self.max_retries = max_retries
         self.trial_timeout = trial_timeout
         self.fork = fork
+        self.batch = batch
         self.cache_dir = cache_dir
         self._chunksize = chunksize
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -775,23 +854,27 @@ def make_runner(
     max_retries: int = 2,
     trial_timeout: Optional[float] = None,
     fork: bool = False,
+    batch: bool = False,
     cache_dir: Optional[str] = None,
 ) -> SweepRunner:
     """The sensible default: parallel when it can help, serial when a
     pool would only add process overhead (single CPU, or workers=1).
     ``max_retries`` / ``trial_timeout`` configure the fault-tolerant
-    ``run`` path (see :class:`ParallelSweepRunner`); ``fork`` and
-    ``cache_dir`` enable snapshot/fork execution and the
-    content-addressed trial cache (see :meth:`SweepRunner.run_outcomes`)."""
+    ``run`` path (see :class:`ParallelSweepRunner`); ``fork``, ``batch``
+    and ``cache_dir`` enable snapshot/fork execution, batched lockstep
+    execution (needs numpy) and the content-addressed trial cache (see
+    :meth:`SweepRunner.run_outcomes`)."""
     resolved = workers if workers is not None else default_workers()
     if resolved <= 1:
         return SerialSweepRunner(
-            max_retries=max_retries, fork=fork, cache_dir=cache_dir
+            max_retries=max_retries, fork=fork, batch=batch,
+            cache_dir=cache_dir,
         )
     return ParallelSweepRunner(
         resolved,
         max_retries=max_retries,
         trial_timeout=trial_timeout,
         fork=fork,
+        batch=batch,
         cache_dir=cache_dir,
     )

@@ -198,6 +198,12 @@ class SweepResult:
     workers: int
     failures: List[TrialOutcome] = field(default_factory=list)
     outcomes: List[TrialOutcome] = field(default_factory=list)
+    #: :meth:`repro.runner.cache.TrialCache.stats` snapshot from the
+    #: runner's trial cache (hits / misses / bypasses), when the sweep
+    #: ran with ``cache_dir`` set; None otherwise.  Counters accumulate
+    #: per runner instance, so back-to-back runs on one runner report
+    #: cumulative totals.
+    cache_stats: Optional[Dict[str, int]] = None
 
     def __len__(self) -> int:
         return len(self.summaries)
@@ -250,6 +256,12 @@ class SweepResult:
         for summary in self.summaries:
             if summary.metrics is not None:
                 merged.merge_json(summary.metrics)
+        if self.cache_stats:
+            # The trial cache's effectiveness is a sweep-level property
+            # (there is no per-trial registry to carry it), so it joins
+            # the aggregate under its own subtree.
+            for name, value in sorted(self.cache_stats.items()):
+                merged.inc(f"sweep.trial_cache.{name}", value)
         return merged
 
 

@@ -42,7 +42,11 @@ def test_cached_rerun_is_byte_identical(tmp_path):
 
     cache = TrialCache(tmp_path)
     replayed = [cache.get(spec) for spec in specs]
-    assert cache.stats() == {"hits": len(specs), "misses": 0}
+    assert cache.stats() == {
+        "hits": len(specs),
+        "misses": 0,
+        "bypasses": 0,
+    }
     assert replayed == first
 
     second = SerialSweepRunner(cache_dir=tmp_path).run_outcomes(specs)
@@ -76,7 +80,7 @@ def test_schema_hash_invalidates_entries(tmp_path, monkeypatch):
     )
     stale = TrialCache(tmp_path)
     assert stale.get(spec) is None
-    assert stale.stats() == {"hits": 0, "misses": 1}
+    assert stale.stats() == {"hits": 0, "misses": 1, "bypasses": 0}
     # Keys diverge too: old entries are orphaned, not overwritten.
     assert cache_key(spec) != cache_key(spec, "somethingelse")
 
