@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""The supervised sweep service: submit, stream, crash, recover.
+
+Walks the full service-tier lifecycle against a throwaway service
+directory —
+
+  1. submit a victim x scheme x secret grid as a job (the queue is
+     durable: the job exists before any daemon does);
+  2. start a supervisor daemon in another process and watch per-trial
+     deltas stream as workers finish;
+  3. SIGKILL the daemon mid-sweep — no warning, no cleanup;
+  4. start a *fresh* supervisor on the same directory: it adopts the
+     half-done job, waits out leases still held by the orphaned
+     workers, re-runs only the trials that never reached the journal;
+
+— and then proves the point: the recovered result is bit-identical to
+an uninterrupted in-process run of the same grid.
+
+    python examples/sweep_service.py
+
+The same flow is available from the shell (`python -m repro.service
+serve/submit/tail/result`), and `python -m repro.service chaos-smoke`
+runs the heavier version of this script's crash with I/O faults, torn
+cache entries, and skewed clocks layered on top.
+"""
+
+import multiprocessing
+import os
+import signal
+import tempfile
+import time
+
+from repro.runner import SerialSweepRunner
+from repro.runner.spec import expand_grid
+from repro.service import ServiceClient, SweepSupervisor
+from repro.service.codec import result_signature
+
+VICTIMS = ["gdnpeu", "gdmshr"]
+SCHEMES = ["dom-nontso", "fence-spectre"]
+
+
+def _serve(service_dir):
+    """First daemon incarnation (runs until SIGKILLed by the parent)."""
+    SweepSupervisor(
+        service_dir, workers=2, chunksize=2, lease_ttl=1.0,
+        poll_interval=0.01,
+    ).run_forever()
+
+
+def main():
+    service_dir = tempfile.mkdtemp(prefix="repro-svc-demo-")
+    specs = expand_grid(VICTIMS, SCHEMES)
+
+    # 1. Submit before any daemon exists: the job just queues.
+    client = ServiceClient(service_dir)
+    job_id = client.submit(specs)
+    print(f"[submit]   job {job_id}: {len(specs)} trials -> {service_dir}")
+
+    # 2. Daemon in another process; deltas stream as trials finish.
+    # Not daemon=True: the supervisor spawns worker child processes.
+    daemon = multiprocessing.get_context("fork").Process(
+        target=_serve, args=(service_dir,)
+    )
+    daemon.start()
+    while client.progress(job_id)["finished"] < len(specs) // 2:
+        time.sleep(0.01)
+    done = client.progress(job_id)["finished"]
+    print(f"[stream]   {done}/{len(specs)} trials journaled, daemon alive")
+
+    # 3. Crash: SIGKILL, mid-sweep, no cleanup.
+    os.kill(daemon.pid, signal.SIGKILL)
+    daemon.join()
+    print(f"[crash]    daemon pid {daemon.pid} SIGKILLed "
+          f"(exitcode {daemon.exitcode})")
+
+    # 4. Fresh incarnation on the same directory: adopt and finish.
+    SweepSupervisor(
+        service_dir, workers=2, chunksize=2, lease_ttl=1.0,
+        poll_interval=0.01,
+    ).run_until_idle(timeout=300.0)
+    result = client.result(job_id)
+    assert result is not None, "recovered supervisor did not finish the job"
+    print(f"[recover]  second incarnation drained the job: "
+          f"{len(result.outcomes)} outcomes, {len(result.failures)} failures")
+
+    # A couple of the streamed deltas, plus the terminal marker.
+    events, _ = client.deltas(job_id)
+    for record in events[:2]:
+        print(f"[delta]    {record.get('event')}: digest="
+              f"{record.get('digest')} status={record.get('status')}")
+    print(f"[terminal] {events[-1].get('event')}")
+
+    # The acceptance invariant: crash + recovery changed nothing.
+    reference = SerialSweepRunner().run(specs)
+    assert result_signature(result.outcomes) == result_signature(
+        reference.outcomes
+    ), "recovered result diverged from the uninterrupted reference"
+    print("\nRecovered result is bit-identical to an uninterrupted run: "
+          "the crash cost wall-clock time, not correctness.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

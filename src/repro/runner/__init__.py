@@ -49,11 +49,18 @@ from repro.runner.runner import (
     ParallelSweepRunner,
     SerialSweepRunner,
     SweepRunner,
+    backoff_delay,
     make_runner,
     run_trial_outcome,
     run_trial_spec,
 )
-from repro.runner.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.runner.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FSFaultPlan,
+    FSFaultSpec,
+)
 
 __all__ = [
     "TrialSpec",
@@ -75,6 +82,9 @@ __all__ = [
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",
+    "FSFaultSpec",
+    "FSFaultPlan",
+    "backoff_delay",
     "write_sweep_metrics",
     "read_sweep_metrics",
     "aggregate_from_file",

@@ -26,18 +26,25 @@ the same plan over the same grid always produces the same outcome set.
 
 from __future__ import annotations
 
+import errno as _errno
 import json
 import multiprocessing
 import os
+import signal
 import time
 from dataclasses import asdict, dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.pipeline.core import DeadlockError
 
 #: Environment variable ``install_plan`` mirrors the active plan into,
 #: so freshly spawned interpreter processes inherit it at startup.
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Environment variable the active filesystem fault plan is mirrored
+#: into (see :func:`install_fs_plan`), so worker subprocesses inherit
+#: the same injected I/O faults.
+FS_FAULT_PLAN_ENV = "REPRO_FS_FAULT_PLAN"
 
 #: Exit code an injected worker kill dies with (visible in pool logs).
 KILL_EXIT_CODE = 86
@@ -210,3 +217,173 @@ def injector_for(fault: Optional[FaultSpec]) -> Optional[FaultInjector]:
     if fault is not None and fault.kind in (KIND_DEADLOCK, KIND_STALL):
         return FaultInjector(fault)
     return None
+
+
+# ----------------------------------------------------------------------
+# process / filesystem fault layer
+# ----------------------------------------------------------------------
+# The kinds above fire *inside the simulation*; these fire at the
+# durability layer's I/O points — journal appends, cache publishes,
+# queue/lease/stream appends — modelling the real-world failures a
+# supervised sweep service must survive: a full disk, a flaky device,
+# and SIGKILL landing exactly mid-write (leaving a torn line or an
+# unpublished temp file behind).
+
+#: Recognized filesystem fault kinds.
+FS_ENOSPC = "enospc"  # raise OSError(ENOSPC) at the I/O point
+FS_EIO = "eio"  # raise OSError(EIO) at the I/O point
+FS_KILL = "kill"  # write a torn prefix, then SIGKILL this process
+FS_TORN = "torn"  # write a torn prefix and carry on (post-crash state)
+_FS_KINDS = (FS_ENOSPC, FS_EIO, FS_KILL, FS_TORN)
+
+#: I/O point names instrumented across the stack.  Call sites pass one
+#: of these as ``op``; fault selectors match on them (``"*"`` = any).
+OP_JOURNAL_APPEND = "journal.append"
+OP_CACHE_PUBLISH = "cache.publish"  # writing the cache temp file
+OP_CACHE_RENAME = "cache.rename"  # the atomic publish rename
+OP_QUEUE_APPEND = "queue.append"
+OP_LEASE_APPEND = "lease.append"
+OP_STREAM_APPEND = "stream.append"
+
+
+@dataclass(frozen=True)
+class FSFaultSpec:
+    """One deterministic I/O fault.
+
+    The fault arms after ``after`` matching operations have completed
+    cleanly in this process, then fires for the next ``times``
+    operations (so ``after=2, times=1`` tears exactly the third write).
+    Counting is per-process and per-op, which keeps schedules
+    deterministic: the same plan over the same work always tears the
+    same byte.
+    """
+
+    kind: str
+    #: I/O point selector (one of the ``OP_*`` names, or ``"*"``).
+    op: str = "*"
+    #: Matching operations to let through before arming.
+    after: int = 0
+    #: How many operations the fault fires for once armed.
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _FS_KINDS:
+            raise ValueError(
+                f"unknown fs fault kind {self.kind!r}; known: "
+                f"{', '.join(_FS_KINDS)}"
+            )
+
+
+@dataclass(frozen=True)
+class FSFaultPlan:
+    """An ordered collection of I/O faults; first match wins."""
+
+    faults: Tuple[FSFaultSpec, ...] = ()
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [asdict(f) for f in self.faults], sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_json(cls, raw: str) -> "FSFaultPlan":
+        return cls(faults=tuple(FSFaultSpec(**entry) for entry in json.loads(raw)))
+
+
+_active_fs_plan: Optional[FSFaultPlan] = None
+#: Completed-operation counters, keyed by op name (includes faulted ops).
+_fs_op_counts: Dict[str, int] = {}
+
+
+def install_fs_plan(plan: FSFaultPlan) -> FSFaultPlan:
+    """Activate ``plan`` in this process and export it to descendants.
+
+    Arming counters reset on installation, so back-to-back tests with
+    the same plan observe the same schedule.
+    """
+    global _active_fs_plan
+    _active_fs_plan = plan
+    _fs_op_counts.clear()
+    os.environ[FS_FAULT_PLAN_ENV] = plan.to_json()
+    return plan
+
+
+def clear_fs_plan() -> None:
+    """Deactivate I/O fault injection (and the env export)."""
+    global _active_fs_plan
+    _active_fs_plan = None
+    _fs_op_counts.clear()
+    os.environ.pop(FS_FAULT_PLAN_ENV, None)
+
+
+def current_fs_plan() -> Optional[FSFaultPlan]:
+    """The active I/O fault plan: installed, or inherited via env."""
+    if _active_fs_plan is not None:
+        return _active_fs_plan
+    raw = os.environ.get(FS_FAULT_PLAN_ENV)
+    if raw:
+        return FSFaultPlan.from_json(raw)
+    return None
+
+
+def _fs_fault_for(op: str) -> Optional[FSFaultSpec]:
+    """The fault (if any) firing for this occurrence of ``op``.
+
+    Always advances the op counter, so ``after=N`` means "the N
+    preceding operations completed cleanly" regardless of how many
+    other faults are in the plan.
+    """
+    plan = current_fs_plan()
+    count = _fs_op_counts.get(op, 0)
+    _fs_op_counts[op] = count + 1
+    if plan is None:
+        return None
+    for fault in plan.faults:
+        if fault.op in ("*", op) and fault.after <= count < fault.after + fault.times:
+            return fault
+    return None
+
+
+def _fs_raise(fault: FSFaultSpec, op: str) -> None:
+    code = _errno.ENOSPC if fault.kind == FS_ENOSPC else _errno.EIO
+    raise OSError(code, f"injected {fault.kind} at {op}", op)
+
+
+def fs_write(fd: int, payload: bytes, op: str) -> None:
+    """``os.write`` with the active I/O fault plan applied.
+
+    * ``enospc`` / ``eio`` — nothing is written; the matching
+      ``OSError`` is raised, exactly as a full disk or failing device
+      would surface through a buffered write or close.
+    * ``kill`` — the first half of ``payload`` is written, then the
+      process dies by real ``SIGKILL``: no handlers, no cleanup, a torn
+      record on disk.  This is the "worker died mid-append" crash shape.
+    * ``torn`` — the first half is written and the call returns
+      normally, modelling the on-disk state *after* such a crash
+      without needing a subprocess (the in-process test shape).
+    """
+    fault = _fs_fault_for(op)
+    if fault is None:
+        os.write(fd, payload)
+        return
+    if fault.kind in (FS_ENOSPC, FS_EIO):
+        _fs_raise(fault, op)
+    # Torn write: at least 1 byte, never the whole payload.
+    cut = max(1, len(payload) // 2) if len(payload) > 1 else 0
+    os.write(fd, payload[:cut])
+    if fault.kind == FS_KILL:
+        os.fsync(fd)  # the torn prefix must actually land before we die
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def fs_guard(op: str) -> None:
+    """Pure fault point for non-write I/O steps (e.g. the publish
+    rename): raises or kills per the plan, writes nothing."""
+    fault = _fs_fault_for(op)
+    if fault is None:
+        return
+    if fault.kind in (FS_ENOSPC, FS_EIO):
+        _fs_raise(fault, op)
+    if fault.kind == FS_KILL:
+        os.kill(os.getpid(), signal.SIGKILL)
+    # FS_TORN is meaningless for a guard point: nothing to tear.

@@ -20,6 +20,11 @@ Robustness properties:
   outcomes are journaled; transient ``timeout`` / ``worker-lost``
   outcomes are not, so a resumed sweep retries them instead of
   resurrecting a stale failure.
+* **Optional durability** — ``fsync=True`` fsyncs after every append,
+  so a record survives power loss (not just process death) once
+  :meth:`record` returns.  Off by default: an fsync per trial costs
+  real throughput (see the tradeoff note on :class:`TrialJournal`),
+  and process-crash recovery — the common case — does not need it.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ import os
 from typing import Dict, Iterable, List, Optional
 
 from repro.memory.hierarchy import AccessKind, VisibleAccess
+from repro.runner import faults
 from repro.runner.spec import TrialOutcome, TrialStatus, TrialSummary
 
 #: Journal format version, embedded in every record.
@@ -133,22 +139,44 @@ def outcome_from_json(data: dict) -> TrialOutcome:
 
 
 class TrialJournal:
-    """Digest-keyed, append-only JSONL record of finished trials."""
+    """Digest-keyed, append-only JSONL record of finished trials.
 
-    def __init__(self, path) -> None:
+    ``fsync=True`` trades throughput for crash *durability*: each
+    append is flushed to stable storage before :meth:`record` returns,
+    so even a power cut cannot lose an acknowledged record.  The
+    default (off) is still crash *consistent* — a torn final line from
+    a dying process is skipped on load and that one trial re-runs — it
+    just allows the page cache to hold recent records.  Keep it off
+    for benchmarks (an fsync per trial can dominate short-trial
+    sweeps); turn it on for the supervised service tier, where an
+    acknowledged trial must survive host failure.
+    """
+
+    def __init__(self, path, *, fsync: bool = False) -> None:
         self.path = os.fspath(path)
+        self.fsync = fsync
 
     # ------------------------------------------------------------------
     def record(self, outcome: TrialOutcome) -> None:
         """Append one outcome.  A single ``O_APPEND`` write, so records
-        from concurrent workers never interleave mid-line."""
+        from concurrent workers never interleave mid-line.
+
+        The leading newline is a record separator, not formatting: if
+        the previous writer died mid-append, its torn prefix has no
+        terminator, and without the separator this record would
+        concatenate onto it and be lost with it.  The loader skips the
+        resulting blank lines (and still reads journals written before
+        this hardening).
+        """
         line = json.dumps(
             outcome_to_json(outcome), sort_keys=True, separators=(",", ":")
         )
-        payload = (line + "\n").encode()
+        payload = ("\n" + line + "\n").encode()
         fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
         try:
-            os.write(fd, payload)
+            faults.fs_write(fd, payload, faults.OP_JOURNAL_APPEND)
+            if self.fsync:
+                os.fsync(fd)
         finally:
             os.close(fd)
 

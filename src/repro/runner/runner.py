@@ -37,6 +37,7 @@ picklable outcome objects back.
 from __future__ import annotations
 
 import os
+import random
 import time
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
@@ -70,6 +71,29 @@ _SPINUP_GRACE = 1.0
 #: Base / cap for the capped exponential backoff between retry rounds.
 _BACKOFF_BASE = 0.1
 _BACKOFF_CAP = 2.0
+
+#: Process-local jitter source for retry backoff.  OS-seeded on
+#: purpose: backoff timing is pure wall-clock behaviour (results are
+#: keyed by deterministic per-trial seeds, never by scheduling), and
+#: distinct processes *must* draw different jitter — that is the point.
+_jitter_rng = random.Random()
+
+
+def backoff_delay(round_no: int, *, rng: Optional[random.Random] = None) -> float:
+    """Jittered capped exponential backoff for retry round ``round_no``
+    (1-indexed): uniform in ``[base/2, base]`` where ``base`` is the
+    capped exponential step.
+
+    The jitter decorrelates resubmission: when a mass worker loss
+    reclaims many chunks at once (a killed host, an expired lease
+    sweep), re-fanning them out in lockstep would hammer the pool — and
+    a shared cache/journal — in synchronized waves.  Spreading each
+    chunk across half a backoff window keeps the retry herd thundering
+    politely.
+    """
+    base = min(_BACKOFF_CAP, _BACKOFF_BASE * (2 ** (round_no - 1)))
+    draw = (rng if rng is not None else _jitter_rng).random()
+    return base * (0.5 + 0.5 * draw)
 
 #: Sentinel distinguishing "no plan argument" from "explicitly no plan".
 _PLAN_UNSET = object()
@@ -252,12 +276,15 @@ def _run_chunk_outcomes(
     tasks: List[Tuple[TrialSpec, int]],
     journal_path: Optional[str],
     plan_json: Optional[str],
+    journal_fsync: bool = False,
 ) -> List[TrialOutcome]:
     """Pool-worker chunk body: run each (spec, attempt) with isolation,
     journaling every deterministic outcome as it completes — so the
     parent can recover a partially finished chunk if this worker dies."""
     plan = faults.FaultPlan.from_json(plan_json) if plan_json else None
-    journal = TrialJournal(journal_path) if journal_path else None
+    journal = (
+        TrialJournal(journal_path, fsync=journal_fsync) if journal_path else None
+    )
     outcomes = []
     for spec, attempt in tasks:
         outcome = run_trial_outcome(spec, attempt=attempt, plan=plan)
@@ -546,7 +573,7 @@ def _run_serial_outcomes(
             if outcome.status not in RETRYABLE_STATUSES or attempt >= max_retries:
                 break
             attempt += 1
-            time.sleep(min(_BACKOFF_CAP, _BACKOFF_BASE * (2 ** (attempt - 1))))
+            time.sleep(backoff_delay(attempt))
         if journal is not None and journal.should_record(outcome):
             journal.record(outcome)
         outcomes[i] = outcome
@@ -704,12 +731,11 @@ class ParallelSweepRunner(SweepRunner):
             if not todo:
                 break
             if round_no > 0:
-                # Capped exponential backoff between retry rounds: give
-                # a transiently sick host (OOM pressure, CPU squeeze)
-                # room to recover before re-fanning out.
-                time.sleep(
-                    min(_BACKOFF_CAP, _BACKOFF_BASE * (2 ** (round_no - 1)))
-                )
+                # Jittered capped exponential backoff between retry
+                # rounds: give a transiently sick host (OOM pressure,
+                # CPU squeeze) room to recover, without resubmitting
+                # every reclaimed chunk in lockstep.
+                time.sleep(backoff_delay(round_no))
             completed, lost, collateral = self._run_round(
                 specs, todo, attempts, journal
             )
@@ -761,7 +787,13 @@ class ParallelSweepRunner(SweepRunner):
                 if self.trial_timeout is not None
                 else None
             )
-            fut = pool.submit(_run_chunk_outcomes, tasks, journal_path, plan_json)
+            fut = pool.submit(
+                _run_chunk_outcomes,
+                tasks,
+                journal_path,
+                plan_json,
+                journal.fsync if journal is not None else False,
+            )
             futures[fut] = (chunk, deadline)
 
         completed: Dict[int, TrialOutcome] = {}

@@ -262,6 +262,14 @@ class SweepResult:
             # the aggregate under its own subtree.
             for name, value in sorted(self.cache_stats.items()):
                 merged.inc(f"sweep.trial_cache.{name}", value)
+            lookups = self.cache_stats.get("hits", 0) + self.cache_stats.get(
+                "misses", 0
+            )
+            if lookups:
+                merged.set_gauge(
+                    "sweep.trial_cache.hit_rate",
+                    self.cache_stats.get("hits", 0) / lookups,
+                )
         return merged
 
 

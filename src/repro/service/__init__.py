@@ -1,0 +1,47 @@
+"""Supervised sweep service: durable queue, leases, crash recovery.
+
+The service tier turns the runner stack into a long-lived daemon:
+sweeps are submitted as durable jobs (priorities, per-tenant quotas),
+executed by leased worker processes, and supervised by
+:class:`~repro.service.supervisor.SweepSupervisor`, which recovers from
+worker and daemon crashes to a bit-identical merged result.  See
+``docs/API.md`` for the ops runbook.
+"""
+
+from repro.service.api import ServiceClient, submit_grid
+from repro.service.chaos import ChaosAction, ChaosHarness, ChaosSchedule, chaos_differential
+from repro.service.codec import (
+    result_signature,
+    spec_from_json,
+    spec_to_json,
+    sweep_result_from_json,
+    sweep_result_to_json,
+)
+from repro.service.lease import Lease, LeaseTable
+from repro.service.queue import DurableJobQueue, JobStatus, JobView, QuotaExceeded
+from repro.service.stream import STREAM_BUDGET, follow, sse_frame
+from repro.service.supervisor import SweepSupervisor
+
+__all__ = [
+    "ChaosAction",
+    "ChaosHarness",
+    "ChaosSchedule",
+    "DurableJobQueue",
+    "JobStatus",
+    "JobView",
+    "Lease",
+    "LeaseTable",
+    "QuotaExceeded",
+    "STREAM_BUDGET",
+    "ServiceClient",
+    "SweepSupervisor",
+    "chaos_differential",
+    "follow",
+    "result_signature",
+    "spec_from_json",
+    "spec_to_json",
+    "sse_frame",
+    "submit_grid",
+    "sweep_result_from_json",
+    "sweep_result_to_json",
+]

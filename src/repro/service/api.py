@@ -1,0 +1,137 @@
+"""Client API for the sweep service.
+
+:class:`ServiceClient` is the in-process client: it talks to the same
+durable on-disk structures the daemon supervises (submit = journal
+append, result = atomic-published JSON, stream = JSONL tail), so it
+works whether the daemon runs in another process, another container
+sharing the directory, or not yet at all (jobs queue until a
+supervisor picks them up).  The HTTP layer
+(:mod:`repro.service.httpd`) is a thin adapter over this class.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.runner.spec import SweepResult, TrialSpec
+from repro.service import stream as stream_mod
+from repro.service import wal
+from repro.service.codec import sweep_result_from_json
+from repro.service.queue import DurableJobQueue, JobView
+
+DEFAULT_TENANT = "default"
+
+
+class ServiceClient:
+    """Filesystem client for a service directory."""
+
+    def __init__(
+        self,
+        service_dir,
+        *,
+        quotas: Optional[Dict[str, int]] = None,
+        default_quota: Optional[int] = None,
+    ) -> None:
+        self.service_dir = os.fspath(service_dir)
+        self.queue = DurableJobQueue(
+            self.service_dir, quotas=quotas, default_quota=default_quota
+        )
+
+    # -- submission ----------------------------------------------------
+    def submit(
+        self,
+        specs: Sequence[TrialSpec],
+        *,
+        priority: int = 0,
+        tenant: str = DEFAULT_TENANT,
+    ) -> str:
+        return self.queue.submit(specs, priority=priority, tenant=tenant)
+
+    def cancel(self, job_id: str) -> bool:
+        return self.queue.cancel(job_id)
+
+    # -- inspection ----------------------------------------------------
+    def jobs(self) -> Dict[str, JobView]:
+        return self.queue.jobs()
+
+    def status(self, job_id: str) -> Optional[JobView]:
+        return self.queue.jobs().get(job_id)
+
+    def progress(self, job_id: str) -> Dict[str, Any]:
+        """Cheap progress counters from the job's trial journal."""
+        view = self.status(job_id)
+        records, _ = wal.read_records(self.queue.trial_journal_path(job_id))
+        digests = {
+            r.get("digest") for r in records if isinstance(r.get("digest"), str)
+        }
+        return {
+            "job": job_id,
+            "status": view.status.value if view is not None else None,
+            "n_specs": view.n_specs if view is not None else None,
+            "finished": len(digests),
+        }
+
+    # -- results -------------------------------------------------------
+    def result(self, job_id: str) -> Optional[SweepResult]:
+        """The merged result, or None while the job is still running
+        (or the publish is in flight — the read is atomic either way)."""
+        data = wal.load_json(self.queue.result_path(job_id))
+        if data is None:
+            return None
+        return sweep_result_from_json(data)
+
+    def wait(
+        self, job_id: str, *, timeout: float = 60.0, poll: float = 0.05
+    ) -> SweepResult:
+        """Block until the merged result publishes."""
+        deadline = time.monotonic() + timeout
+        while True:
+            result = self.result(job_id)
+            if result is not None:
+                return result
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} did not finish within {timeout}s"
+                )
+            time.sleep(poll)
+
+    # -- streaming -----------------------------------------------------
+    def stream(
+        self,
+        job_id: str,
+        *,
+        offset: int = 0,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+    ) -> Iterator[Dict[str, Any]]:
+        """Follow the job's delta stream (one record per finished
+        trial, then a terminal ``job-done``/``job-failed`` marker)."""
+        return stream_mod.follow(
+            self.queue.stream_path(job_id),
+            offset=offset,
+            timeout=timeout,
+            poll_interval=poll_interval,
+        )
+
+    def deltas(self, job_id: str, offset: int = 0) -> tuple:
+        """Non-blocking read of stream records past ``offset``."""
+        return stream_mod.read_events(self.queue.stream_path(job_id), offset)
+
+
+def submit_grid(
+    client: ServiceClient,
+    victims: Sequence[str],
+    schemes: Sequence[str],
+    secrets: Sequence[int] = (0, 1),
+    *,
+    priority: int = 0,
+    tenant: str = DEFAULT_TENANT,
+    **common: Any,
+) -> str:
+    """Convenience: expand a victim×scheme×secret grid and submit it."""
+    from repro.runner.spec import expand_grid
+
+    specs: List[TrialSpec] = expand_grid(victims, schemes, secrets, **common)
+    return client.submit(specs, priority=priority, tenant=tenant)

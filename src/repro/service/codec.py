@@ -1,0 +1,223 @@
+"""JSON codecs for service payloads.
+
+The durable job queue persists sweep specs in its JSONL journal and
+accepts them over the HTTP API, so :class:`~repro.runner.spec.TrialSpec`
+needs a JSON form.  The one invariant that matters: **round-tripping
+must preserve the spec digest**.  ``TrialSpec.digest()`` hashes the
+frozen-dataclass ``repr``, so decoding must reconstruct exactly the
+original field types — tuples stay tuples (JSON would silently turn
+them into lists), ints stay ints, nested configs rebuild the same
+dataclasses.  Tagged encodings (``{"$tuple": [...]}``) carry the type
+information JSON drops.
+
+:func:`sweep_result_to_json` / :func:`sweep_result_from_json` give the
+merged :class:`~repro.runner.spec.SweepResult` a durable on-disk form
+(the job's ``result.json``), reusing the journal's outcome codec.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.memory.hierarchy import HierarchyConfig, LevelConfig
+from repro.runner.journal import outcome_from_json, outcome_to_json
+from repro.runner.spec import SweepResult, TrialOutcome, TrialSpec
+
+#: Version stamp embedded in encoded specs and results.
+CODEC_VERSION = 1
+
+_SCALARS = (int, float, str, bool, type(None))
+
+
+def _encode_value(value: Any) -> Any:
+    """JSON-encode a spec field value, tagging non-JSON container types."""
+    if isinstance(value, bool) or value is None or isinstance(value, (str, float)):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, tuple):
+        return {"$tuple": [_encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {"$list": [_encode_value(v) for v in value]}
+    if isinstance(value, dict):
+        return {"$dict": [[_encode_value(k), _encode_value(v)] for k, v in value.items()]}
+    raise TypeError(
+        f"cannot JSON-encode spec value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "$tuple" in value:
+            return tuple(_decode_value(v) for v in value["$tuple"])
+        if "$list" in value:
+            return [_decode_value(v) for v in value["$list"]]
+        if "$dict" in value:
+            return {_decode_value(k): _decode_value(v) for k, v in value["$dict"]}
+        raise ValueError(f"unknown tagged value: {sorted(value)!r}")
+    if isinstance(value, _SCALARS):
+        return value
+    raise ValueError(f"cannot decode spec value: {value!r}")
+
+
+def _level_to_json(level: LevelConfig) -> Dict[str, Any]:
+    return {
+        "num_sets": level.num_sets,
+        "num_ways": level.num_ways,
+        "latency": level.latency,
+        "policy": level.policy,
+        "num_slices": level.num_slices,
+        "line_size": level.line_size,
+    }
+
+
+def _level_from_json(data: Dict[str, Any]) -> LevelConfig:
+    return LevelConfig(
+        num_sets=data["num_sets"],
+        num_ways=data["num_ways"],
+        latency=data["latency"],
+        policy=data["policy"],
+        num_slices=data["num_slices"],
+        line_size=data["line_size"],
+    )
+
+
+def _hierarchy_to_json(config: HierarchyConfig) -> Dict[str, Any]:
+    return {
+        "l1i": _level_to_json(config.l1i),
+        "l1d": _level_to_json(config.l1d),
+        "l2": _level_to_json(config.l2),
+        "llc": _level_to_json(config.llc),
+        "dram_latency": config.dram_latency,
+        "dram_jitter": config.dram_jitter,
+        "l1d_mshrs": config.l1d_mshrs,
+        "inclusive_llc": config.inclusive_llc,
+        "enable_coherence": config.enable_coherence,
+        "coherence_writeback_penalty": config.coherence_writeback_penalty,
+        "seed": config.seed,
+    }
+
+
+def _hierarchy_from_json(data: Dict[str, Any]) -> HierarchyConfig:
+    return HierarchyConfig(
+        l1i=_level_from_json(data["l1i"]),
+        l1d=_level_from_json(data["l1d"]),
+        l2=_level_from_json(data["l2"]),
+        llc=_level_from_json(data["llc"]),
+        dram_latency=data["dram_latency"],
+        dram_jitter=data["dram_jitter"],
+        l1d_mshrs=data["l1d_mshrs"],
+        inclusive_llc=data["inclusive_llc"],
+        enable_coherence=data["enable_coherence"],
+        coherence_writeback_penalty=data["coherence_writeback_penalty"],
+        seed=data["seed"],
+    )
+
+
+def spec_to_json(spec: TrialSpec) -> Dict[str, Any]:
+    """Encode a :class:`TrialSpec` so that
+    ``spec_from_json(spec_to_json(s)).digest() == s.digest()``."""
+    return {
+        "v": CODEC_VERSION,
+        "victim": spec.victim,
+        "scheme": spec.scheme,
+        "secret": spec.secret,
+        "victim_kwargs": [
+            [name, _encode_value(value)] for name, value in spec.victim_kwargs
+        ],
+        "seed": spec.seed,
+        "reference_accesses": [list(pair) for pair in spec.reference_accesses],
+        "noise_rate": spec.noise_rate,
+        "noise_pool": list(spec.noise_pool),
+        "extra_lines": list(spec.extra_lines),
+        "max_cycles": spec.max_cycles,
+        "hierarchy_config": (
+            _hierarchy_to_json(spec.hierarchy_config)
+            if spec.hierarchy_config is not None
+            else None
+        ),
+        "sanitize": spec.sanitize,
+        "collect_metrics": spec.collect_metrics,
+        "snapshot_dir": spec.snapshot_dir,
+    }
+
+
+def spec_from_json(data: Dict[str, Any]) -> TrialSpec:
+    """Rebuild a :class:`TrialSpec` from its JSON form (digest-exact)."""
+    return TrialSpec(
+        victim=data["victim"],
+        scheme=data["scheme"],
+        secret=data["secret"],
+        victim_kwargs=tuple(
+            (name, _decode_value(value)) for name, value in data["victim_kwargs"]
+        ),
+        seed=data["seed"],
+        reference_accesses=tuple(
+            (int(a), int(b)) for a, b in data["reference_accesses"]
+        ),
+        noise_rate=data["noise_rate"],
+        noise_pool=tuple(data["noise_pool"]),
+        extra_lines=tuple(data["extra_lines"]),
+        max_cycles=data["max_cycles"],
+        hierarchy_config=(
+            _hierarchy_from_json(data["hierarchy_config"])
+            if data.get("hierarchy_config") is not None
+            else None
+        ),
+        sanitize=data["sanitize"],
+        collect_metrics=data["collect_metrics"],
+        snapshot_dir=data.get("snapshot_dir"),
+    )
+
+
+def sweep_result_to_json(result: SweepResult) -> Dict[str, Any]:
+    """Durable JSON form of a merged sweep result."""
+    return {
+        "v": CODEC_VERSION,
+        "elapsed": result.elapsed,
+        "workers": result.workers,
+        "outcomes": [outcome_to_json(o) for o in result.outcomes],
+        "cache_stats": result.cache_stats,
+    }
+
+
+def sweep_result_from_json(data: Dict[str, Any]) -> SweepResult:
+    outcomes: List[TrialOutcome] = [
+        outcome_from_json(entry) for entry in data["outcomes"]
+    ]
+    return SweepResult(
+        summaries=[o.summary for o in outcomes if o.ok and o.summary is not None],
+        elapsed=data["elapsed"],
+        workers=data["workers"],
+        failures=[o for o in outcomes if not o.ok],
+        outcomes=outcomes,
+        cache_stats=data.get("cache_stats"),
+    )
+
+
+def specs_to_json(specs: Sequence[TrialSpec]) -> List[Dict[str, Any]]:
+    return [spec_to_json(spec) for spec in specs]
+
+
+def specs_from_json(payloads: Sequence[Dict[str, Any]]) -> List[TrialSpec]:
+    return [spec_from_json(payload) for payload in payloads]
+
+
+def result_signature(
+    outcomes: Sequence[Optional[TrialOutcome]],
+) -> List[Any]:
+    """Canonical comparison key for the chaos differential: one
+    ``(digest, status, summary)`` triple per trial, in spec order.
+
+    ``attempts`` (and error text from transient intermediate failures)
+    is execution bookkeeping — a chaos run legitimately takes more
+    attempts than an undisturbed one — so it is excluded; everything
+    observable about the *result* is compared exactly.
+    """
+    signature: List[Any] = []
+    for outcome in outcomes:
+        if outcome is None:
+            signature.append(None)
+        else:
+            signature.append((outcome.digest, outcome.status, outcome.summary))
+    return signature

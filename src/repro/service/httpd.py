@@ -1,0 +1,194 @@
+"""HTTP/JSON front end for the sweep service (stdlib only).
+
+A thin multi-client adapter over :class:`~repro.service.api.ServiceClient`:
+every endpoint reads/writes the durable on-disk queue, so the HTTP
+process needs no shared state with the supervisor daemon — run them in
+one process, two processes, or two containers over a shared volume.
+
+Endpoints (all JSON unless noted):
+
+* ``POST /v1/jobs`` — body ``{"specs": [...], "priority": 0,
+  "tenant": "team-a"}`` (specs in codec form, see
+  :func:`repro.service.codec.spec_to_json`); 201 with
+  ``{"job_id": ...}``, 400 on malformed specs, 429 over quota.
+* ``GET /v1/jobs`` — all jobs with status.
+* ``GET /v1/jobs/<id>`` — one job's status + progress counters.
+* ``GET /v1/jobs/<id>/result`` — the merged result (404 until done).
+* ``GET /v1/jobs/<id>/stream`` — **SSE**: one ``trial`` event per
+  finished trial (live tail of the job's delta stream), terminated by
+  a ``job-done`` / ``job-failed`` / ``job-cancelled`` event.
+* ``POST /v1/jobs/<id>/cancel`` — cancel an open job.
+* ``GET /v1/healthz`` — liveness.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.api import ServiceClient
+from repro.service.codec import specs_from_json, sweep_result_to_json
+from repro.service.queue import QuotaExceeded
+from repro.service.stream import sse_frame
+
+_JOB_ROUTE = re.compile(r"^/v1/jobs/([0-9a-f]{16})(/(result|stream|cancel))?$")
+
+#: Seconds an SSE follow waits for new deltas before giving up (the
+#: client can simply reconnect with ``offset``).
+SSE_TIMEOUT = 300.0
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one service directory."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], client: ServiceClient) -> None:
+        super().__init__(address, _Handler)
+        self.client = client
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # Quiet by default: the service logs through `logging`, not stderr.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b"{}"
+            data = json.loads(raw)
+        except (ValueError, OSError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    # -- GET -----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler convention)
+        client = self.server.client
+        if self.path == "/v1/healthz":
+            self._send_json(200, {"ok": True})
+            return
+        if self.path == "/v1/jobs":
+            jobs = {
+                job_id: {
+                    "status": view.status.value,
+                    "tenant": view.tenant,
+                    "priority": view.priority,
+                    "n_specs": view.n_specs,
+                }
+                for job_id, view in sorted(client.jobs().items())
+            }
+            self._send_json(200, {"jobs": jobs})
+            return
+        match = _JOB_ROUTE.match(self.path)
+        if match is None:
+            self._send_json(404, {"error": "unknown route"})
+            return
+        job_id, action = match.group(1), match.group(3)
+        view = client.status(job_id)
+        if view is None:
+            self._send_json(404, {"error": f"unknown job {job_id}"})
+            return
+        if action is None:
+            self._send_json(200, client.progress(job_id))
+            return
+        if action == "result":
+            result = client.result(job_id)
+            if result is None:
+                self._send_json(
+                    404, {"error": "result not published yet",
+                          "status": view.status.value}
+                )
+                return
+            self._send_json(200, sweep_result_to_json(result))
+            return
+        if action == "stream":
+            self._stream_sse(job_id)
+            return
+        self._send_json(405, {"error": f"GET not supported for {action}"})
+
+    def _stream_sse(self, job_id: str) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        try:
+            for record in self.server.client.stream(
+                job_id, timeout=SSE_TIMEOUT
+            ):
+                self.wfile.write(sse_frame(record))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up
+
+    # -- POST ----------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802
+        client = self.server.client
+        match = _JOB_ROUTE.match(self.path)
+        if match is not None and match.group(3) == "cancel":
+            if client.cancel(match.group(1)):
+                self._send_json(200, {"cancelled": match.group(1)})
+            else:
+                self._send_json(
+                    409, {"error": "job unknown or already terminal"}
+                )
+            return
+        if self.path != "/v1/jobs":
+            self._send_json(404, {"error": "unknown route"})
+            return
+        body = self._read_body()
+        if body is None or not isinstance(body.get("specs"), list):
+            self._send_json(400, {"error": "body must be JSON with 'specs'"})
+            return
+        try:
+            specs = specs_from_json(body["specs"])
+        except (KeyError, TypeError, ValueError) as exc:
+            self._send_json(400, {"error": f"malformed spec: {exc}"})
+            return
+        if not specs:
+            self._send_json(400, {"error": "empty spec list"})
+            return
+        try:
+            job_id = client.submit(
+                specs,
+                priority=int(body.get("priority", 0)),
+                tenant=str(body.get("tenant", "default")),
+            )
+        except QuotaExceeded as exc:
+            self._send_json(429, {"error": str(exc)})
+            return
+        self._send_json(201, {"job_id": job_id})
+
+
+def start_http_server(
+    service_dir,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quotas: Optional[Dict[str, int]] = None,
+    default_quota: Optional[int] = None,
+) -> ServiceHTTPServer:
+    """Bind and start serving in a daemon thread; returns the server
+    (its bound port is ``server.server_address[1]``)."""
+    client = ServiceClient(
+        service_dir, quotas=quotas, default_quota=default_quota
+    )
+    server = ServiceHTTPServer((host, port), client)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    return server

@@ -1,0 +1,163 @@
+"""Lease-based worker supervision.
+
+Every in-flight chunk of a job carries a **lease**: a grant record
+with a heartbeat deadline, renewed by the worker between trials.  The
+lease journal (``leases.jsonl``) is the single source of truth, shared
+append-only between the supervisor (grants, reclaims) and workers
+(heartbeats, releases) — one ``O_APPEND`` write per record, so no
+locks, and a supervisor restarted after a crash replays the journal
+and adopts every live lease instead of double-running its chunk.
+
+Expiry semantics: a lease is expired once ``now`` passes its last
+effective heartbeat plus the TTL.  Heartbeat timestamps come from the
+*worker's* clock, so they are clamped into
+``[-inf, now + skew_tolerance]`` when observed — a worker with a
+fast clock cannot extend its lease into the far future (a hung trial
+behind a skewed clock must still be reclaimed), while a slow clock at
+worst expires the lease early, which is always safe: reclaimed work
+re-runs deterministically and the digest-keyed journal merge dedups.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.runner import faults
+from repro.service import wal
+
+#: Default seconds a lease stays live without a heartbeat.
+DEFAULT_TTL = 5.0
+
+#: Default clamp on how far in the future an observed heartbeat
+#: timestamp may claim to be.
+DEFAULT_SKEW_TOLERANCE = 2.0
+
+
+@dataclass
+class Lease:
+    """Replayed state of one live lease."""
+
+    lease_id: str
+    worker: str
+    #: Worker OS pid, when the worker reported one (chaos targeting).
+    pid: Optional[int]
+    #: Wall-clock time the lease expires absent further heartbeats.
+    expires: float
+
+
+class LeaseTable:
+    """Journal-backed lease registry with incremental polling.
+
+    The supervisor holds one instance and calls :meth:`grant` /
+    :meth:`poll` / :meth:`expired` / :meth:`reclaim`; each worker holds
+    its own instance and only appends (:meth:`heartbeat` /
+    :meth:`release`).  ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        ttl: float = DEFAULT_TTL,
+        skew_tolerance: float = DEFAULT_SKEW_TOLERANCE,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.ttl = ttl
+        self.skew_tolerance = skew_tolerance
+        self.clock = clock
+        self._offset = 0
+        self._live: Dict[str, Lease] = {}
+        self.poll()  # replay whatever already exists (crash recovery)
+
+    # -- record append (any process) -----------------------------------
+    def _append(self, record: Dict[str, object]) -> None:
+        wal.append_record(self.path, record, op=faults.OP_LEASE_APPEND)
+
+    def grant(self, lease_id: str, worker: str, *, pid: Optional[int] = None) -> None:
+        now = self.clock()
+        self._append(
+            {"event": "grant", "lease": lease_id, "worker": worker,
+             "pid": pid, "ts": now}
+        )
+        self._live[lease_id] = Lease(
+            lease_id=lease_id, worker=worker, pid=pid, expires=now + self.ttl
+        )
+
+    def heartbeat(self, lease_id: str, worker: str, *, pid: Optional[int] = None) -> None:
+        """Renew a lease (worker-side, between trials)."""
+        self._append(
+            {"event": "hb", "lease": lease_id, "worker": worker,
+             "pid": pid, "ts": self.clock()}
+        )
+
+    def release(self, lease_id: str, worker: str) -> None:
+        """Mark a chunk finished (worker-side, after its last trial)."""
+        self._append(
+            {"event": "release", "lease": lease_id, "worker": worker,
+             "ts": self.clock()}
+        )
+
+    def reclaim(self, lease_id: str) -> None:
+        """Supervisor-side: retire an expired lease before resubmitting
+        its remaining work."""
+        self._append(
+            {"event": "reclaim", "lease": lease_id, "ts": self.clock()}
+        )
+        self._live.pop(lease_id, None)
+
+    # -- replay / polling (supervisor) ---------------------------------
+    def poll(self) -> None:
+        """Fold journal records appended since the last poll into the
+        live-lease view (incremental: only new bytes are read)."""
+        records, self._offset = wal.read_records(self.path, self._offset)
+        if not records:
+            return
+        now = self.clock()
+        for record in records:
+            event = record.get("event")
+            lease_id = record.get("lease")
+            if not isinstance(lease_id, str):
+                continue
+            if event == "grant":
+                ts = self._effective_ts(record.get("ts"), now)
+                pid = record.get("pid")
+                self._live[lease_id] = Lease(
+                    lease_id=lease_id,
+                    worker=str(record.get("worker", "?")),
+                    pid=pid if isinstance(pid, int) else None,
+                    expires=ts + self.ttl,
+                )
+            elif event == "hb":
+                lease = self._live.get(lease_id)
+                if lease is None:
+                    continue  # heartbeat for a reclaimed/released lease
+                ts = self._effective_ts(record.get("ts"), now)
+                lease.expires = max(lease.expires, ts + self.ttl)
+                pid = record.get("pid")
+                if isinstance(pid, int):
+                    lease.pid = pid
+            elif event in ("release", "reclaim"):
+                self._live.pop(lease_id, None)
+
+    def _effective_ts(self, ts: object, now: float) -> float:
+        """Clamp a reported timestamp against clock skew: never trust a
+        heartbeat from further in the future than the tolerance."""
+        value = ts if isinstance(ts, (int, float)) else now
+        return min(float(value), now + self.skew_tolerance)
+
+    def live(self) -> Dict[str, Lease]:
+        return dict(self._live)
+
+    def released(self, lease_id: str) -> bool:
+        return lease_id not in self._live
+
+    def expired(self) -> List[Lease]:
+        """Live leases whose deadline has passed (poll first)."""
+        now = self.clock()
+        return [
+            lease for lease in self._live.values() if lease.expires < now
+        ]

@@ -1,0 +1,272 @@
+"""Durable job queue: sweep specs as prioritized, quota'd jobs.
+
+Jobs are persisted with the repo's append-only JSONL journal idiom
+(single-write appends, torn-line-tolerant replay, atomic whole-file
+publishes), so the queue state survives daemon restart and SIGKILL at
+any point:
+
+* ``submit`` first publishes the job's spec list to
+  ``jobs/<id>/specs.jsonl`` (atomic rename), *then* appends the
+  ``submit`` event to ``queue.jsonl``.  A crash between the two leaves
+  an orphaned job directory that replay never surfaces — a submit is
+  acknowledged iff its event landed.
+* Job status is the fold of its events (``submit`` → ``start`` →
+  ``done`` / ``failed`` / ``cancel``); replaying the journal after a
+  crash reconstructs exactly the acknowledged state.
+
+Scheduling is priority-then-FIFO: higher ``priority`` first, then
+submission order.  Per-tenant quotas bound *open* jobs (queued +
+running) per tenant; an over-quota submit raises
+:class:`QuotaExceeded` before anything is persisted.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import os
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.runner import faults
+from repro.runner.spec import TrialSpec
+from repro.service import wal
+from repro.service.codec import spec_from_json, spec_to_json
+
+#: Queue journal format version.
+QUEUE_VERSION = 1
+
+#: Default per-tenant open-job quota when none is configured (None =
+#: unlimited).
+DEFAULT_TENANT = "default"
+
+
+class QuotaExceeded(RuntimeError):
+    """Submit refused: the tenant is at its open-job quota."""
+
+
+class JobStatus(str, enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: Statuses that count against a tenant's quota.
+OPEN_STATUSES = frozenset({JobStatus.QUEUED, JobStatus.RUNNING})
+
+
+@dataclass(frozen=True)
+class JobView:
+    """Replayed state of one job."""
+
+    job_id: str
+    tenant: str
+    priority: int
+    n_specs: int
+    seq: int
+    status: JobStatus
+    reason: Optional[str] = None
+
+    @property
+    def open(self) -> bool:
+        return self.status in OPEN_STATUSES
+
+
+class DurableJobQueue:
+    """Crash-recoverable job queue over a service directory.
+
+    One writer per *transition* is assumed (the supervisor claims and
+    completes; submitters only append ``submit``/``cancel`` events),
+    and appends from separate processes are safe — each event is one
+    ``O_APPEND`` write.  Quota checks are check-then-append: two racing
+    submitters can momentarily overshoot a quota by one, which is the
+    standard tradeoff for a lock-free journal (the supervisor never
+    overshoots — it is single-threaded).
+    """
+
+    def __init__(
+        self,
+        service_dir,
+        *,
+        quotas: Optional[Dict[str, int]] = None,
+        default_quota: Optional[int] = None,
+        fsync: bool = False,
+    ) -> None:
+        self.service_dir = os.fspath(service_dir)
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota
+        self.fsync = fsync
+        os.makedirs(self.jobs_dir, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.service_dir, "queue.jsonl")
+
+    @property
+    def jobs_dir(self) -> str:
+        return os.path.join(self.service_dir, "jobs")
+
+    def job_dir(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, job_id)
+
+    def specs_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "specs.jsonl")
+
+    def trial_journal_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "journal.jsonl")
+
+    def stream_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "stream.jsonl")
+
+    def result_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "result.json")
+
+    # -- journal -------------------------------------------------------
+    def _append(self, record: Dict[str, Any]) -> None:
+        record = {"v": QUEUE_VERSION, **record}
+        wal.append_record(
+            self.journal_path,
+            record,
+            op=faults.OP_QUEUE_APPEND,
+            fsync=self.fsync,
+        )
+
+    def jobs(self) -> Dict[str, JobView]:
+        """Replay the journal into per-job state (event fold)."""
+        views: Dict[str, JobView] = {}
+        for record in wal.replay(self.journal_path):
+            event = record.get("event")
+            job_id = record.get("job")
+            if not isinstance(job_id, str):
+                continue
+            if event == "submit":
+                views[job_id] = JobView(
+                    job_id=job_id,
+                    tenant=record.get("tenant", DEFAULT_TENANT),
+                    priority=int(record.get("priority", 0)),
+                    n_specs=int(record.get("n_specs", 0)),
+                    seq=int(record.get("seq", 0)),
+                    status=JobStatus.QUEUED,
+                )
+                continue
+            view = views.get(job_id)
+            if view is None or view.status not in OPEN_STATUSES:
+                continue  # unknown or already terminal: stale event
+            if event == "start":
+                views[job_id] = replace(view, status=JobStatus.RUNNING)
+            elif event == "done":
+                views[job_id] = replace(view, status=JobStatus.DONE)
+            elif event == "failed":
+                views[job_id] = replace(
+                    view, status=JobStatus.FAILED, reason=record.get("reason")
+                )
+            elif event == "cancel":
+                views[job_id] = replace(view, status=JobStatus.CANCELLED)
+        return views
+
+    # -- submission ----------------------------------------------------
+    def _quota_for(self, tenant: str) -> Optional[int]:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def submit(
+        self,
+        specs: Sequence[TrialSpec],
+        *,
+        priority: int = 0,
+        tenant: str = DEFAULT_TENANT,
+    ) -> str:
+        """Persist ``specs`` as a job; returns its id.
+
+        Raises :class:`QuotaExceeded` when the tenant already has its
+        quota of open jobs, and ``ValueError`` on an empty spec list.
+        """
+        specs = list(specs)
+        if not specs:
+            raise ValueError("cannot submit a job with no specs")
+        views = self.jobs()
+        quota = self._quota_for(tenant)
+        if quota is not None:
+            open_jobs = sum(
+                1 for v in views.values() if v.tenant == tenant and v.open
+            )
+            if open_jobs >= quota:
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} has {open_jobs} open job(s), "
+                    f"quota is {quota}"
+                )
+        seq = 1 + max((v.seq for v in views.values()), default=0)
+        digest_roll = hashlib.sha256()
+        for spec in specs:
+            digest_roll.update(spec.digest().encode())
+        job_id = hashlib.sha256(
+            f"{tenant}:{seq}:{digest_roll.hexdigest()}".encode()
+        ).hexdigest()[:16]
+        # Specs first (atomic publish), event second: a crash between
+        # the two leaves an orphan dir, never a half-submitted job.
+        os.makedirs(self.job_dir(job_id), exist_ok=True)
+        payload = "".join(
+            wal.json_line(spec_to_json(spec)) for spec in specs
+        )
+        wal_path = self.specs_path(job_id)
+        tmp = wal_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, wal_path)
+        self._append(
+            {
+                "event": "submit",
+                "job": job_id,
+                "tenant": tenant,
+                "priority": priority,
+                "n_specs": len(specs),
+                "seq": seq,
+            }
+        )
+        return job_id
+
+    def load_specs(self, job_id: str) -> List[TrialSpec]:
+        records, _ = wal.read_records(self.specs_path(job_id))
+        return [spec_from_json(r) for r in records]
+
+    # -- scheduling ----------------------------------------------------
+    def claim_next(self) -> Optional[JobView]:
+        """Highest-priority, oldest queued job, marked running; or
+        None when nothing is queued."""
+        queued = [
+            v for v in self.jobs().values() if v.status is JobStatus.QUEUED
+        ]
+        if not queued:
+            return None
+        best = min(queued, key=lambda v: (-v.priority, v.seq))
+        self._append({"event": "start", "job": best.job_id})
+        return replace(best, status=JobStatus.RUNNING)
+
+    def running(self) -> List[JobView]:
+        return sorted(
+            (
+                v
+                for v in self.jobs().values()
+                if v.status is JobStatus.RUNNING
+            ),
+            key=lambda v: (-v.priority, v.seq),
+        )
+
+    # -- transitions ---------------------------------------------------
+    def complete(self, job_id: str) -> None:
+        self._append({"event": "done", "job": job_id})
+
+    def fail(self, job_id: str, reason: str) -> None:
+        self._append({"event": "failed", "job": job_id, "reason": reason})
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel an open job; returns False if unknown or terminal."""
+        view = self.jobs().get(job_id)
+        if view is None or not view.open:
+            return False
+        self._append({"event": "cancel", "job": job_id})
+        return True

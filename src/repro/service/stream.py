@@ -1,0 +1,103 @@
+"""Streaming partial results: JSONL tail + SSE framing.
+
+Each job has a ``stream.jsonl`` the workers append one delta to per
+finished trial, plus lifecycle markers from the supervisor
+(``job-done`` / ``job-failed``).  Clients follow a campaign live by
+tailing the file (:func:`follow`) or over HTTP as Server-Sent Events
+(the ``/stream`` endpoint frames each delta with :func:`sse_frame`).
+
+Deltas ride the lean-transport rule from the snapshot PR: an outcome
+serializes to a few hundred bytes (heavyweight state is referenced by
+path, never inlined), and :data:`STREAM_BUDGET` enforces it — an
+oversized delta is replaced by a structured ``oversize`` marker rather
+than bloating every tailing client.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro.runner import faults
+from repro.runner.journal import outcome_to_json
+from repro.runner.spec import TrialOutcome
+from repro.service import wal
+
+#: Byte budget per streamed delta — the same ~32KB lean-transport
+#: guard the worker boundary enforces on outcome payloads.
+STREAM_BUDGET = 32 * 1024
+
+
+def append_event(path: str, record: Dict[str, Any]) -> None:
+    """Append one stream record, holding the line to the lean budget.
+
+    A record that would exceed :data:`STREAM_BUDGET` is replaced with
+    an ``oversize`` marker carrying the event name and digest (if any),
+    so a misbehaving producer degrades one delta, not the stream.
+    """
+    if len(wal.json_line(record)) > STREAM_BUDGET:
+        record = {
+            "event": "oversize",
+            "original_event": str(record.get("event")),
+            "digest": record.get("digest"),
+        }
+    wal.append_record(path, record, op=faults.OP_STREAM_APPEND)
+
+
+def append_outcome(path: str, outcome: TrialOutcome) -> None:
+    """Stream one finished trial as a delta."""
+    append_event(
+        path,
+        {
+            "event": "trial",
+            "digest": outcome.digest,
+            "status": outcome.status.value,
+            "outcome": outcome_to_json(outcome),
+        },
+    )
+
+
+def read_events(
+    path: str, offset: int = 0
+) -> Tuple[list, int]:
+    """Complete stream records past ``offset`` plus the new offset."""
+    return wal.read_records(path, offset)
+
+
+#: Stream events that terminate a follow.
+TERMINAL_EVENTS = frozenset({"job-done", "job-failed", "job-cancelled"})
+
+
+def follow(
+    path: str,
+    *,
+    offset: int = 0,
+    poll_interval: float = 0.05,
+    timeout: Optional[float] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Yield stream records as they land, ending at a terminal event.
+
+    ``timeout`` bounds the total wait (None = forever); ``should_stop``
+    is polled between reads so callers (the SSE handler on client
+    disconnect, tests) can end a follow early.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        records, offset = read_events(path, offset)
+        for record in records:
+            yield record
+            if record.get("event") in TERMINAL_EVENTS:
+                return
+        if should_stop is not None and should_stop():
+            return
+        if deadline is not None and time.monotonic() >= deadline:
+            return
+        time.sleep(poll_interval)
+
+
+def sse_frame(record: Dict[str, Any]) -> bytes:
+    """One Server-Sent-Events frame for a stream record."""
+    event = str(record.get("event", "message"))
+    data = wal.json_line(record).rstrip("\n")
+    return f"event: {event}\ndata: {data}\n\n".encode()

@@ -31,6 +31,20 @@ def _entry_files(cache_dir):
     return sorted(pathlib.Path(cache_dir).rglob("*.json"))
 
 
+def _stats(**overrides):
+    """Expected stats dict: all-zero baseline plus ``overrides``."""
+    base = {
+        "hits": 0,
+        "misses": 0,
+        "bypasses": 0,
+        "put_errors": 0,
+        "quarantined": 0,
+        "evictions": 0,
+    }
+    base.update(overrides)
+    return base
+
+
 def test_cached_rerun_is_byte_identical(tmp_path):
     """Second run of the same sweep: all hits, identical outcomes, and
     the on-disk entries are untouched byte for byte."""
@@ -42,11 +56,7 @@ def test_cached_rerun_is_byte_identical(tmp_path):
 
     cache = TrialCache(tmp_path)
     replayed = [cache.get(spec) for spec in specs]
-    assert cache.stats() == {
-        "hits": len(specs),
-        "misses": 0,
-        "bypasses": 0,
-    }
+    assert cache.stats() == _stats(hits=len(specs))
     assert replayed == first
 
     second = SerialSweepRunner(cache_dir=tmp_path).run_outcomes(specs)
@@ -80,7 +90,7 @@ def test_schema_hash_invalidates_entries(tmp_path, monkeypatch):
     )
     stale = TrialCache(tmp_path)
     assert stale.get(spec) is None
-    assert stale.stats() == {"hits": 0, "misses": 1, "bypasses": 0}
+    assert stale.stats() == _stats(misses=1)
     # Keys diverge too: old entries are orphaned, not overwritten.
     assert cache_key(spec) != cache_key(spec, "somethingelse")
 

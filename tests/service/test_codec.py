@@ -1,0 +1,95 @@
+"""Spec/result JSON codecs: the digest must survive the round trip."""
+
+import json
+
+import pytest
+
+from repro.runner.runner import run_trial_outcome
+from repro.runner.spec import SweepResult, TrialSpec, expand_grid, trial_seed
+from repro.service.codec import (
+    result_signature,
+    spec_from_json,
+    spec_to_json,
+    specs_from_json,
+    specs_to_json,
+    sweep_result_from_json,
+    sweep_result_to_json,
+)
+from tests.conftest import small_hierarchy_config
+
+
+def _rich_spec() -> TrialSpec:
+    """A spec exercising every field type the codec must preserve."""
+    return TrialSpec(
+        victim="gdnpeu",
+        scheme="dom-nontso",
+        secret=1,
+        victim_kwargs=(("depth", 3), ("mode", "fast"), ("ratios", (1, 2))),
+        seed=trial_seed("gdnpeu", "dom-nontso", 1),
+        reference_accesses=((0, 100), (1, 228)),
+        noise_rate=0.25,
+        noise_pool=(4096, 8192),
+        extra_lines=(12345,),
+        max_cycles=5000,
+        hierarchy_config=small_hierarchy_config(),
+        sanitize=True,
+        collect_metrics=True,
+    )
+
+
+def test_round_trip_preserves_digest():
+    spec = _rich_spec()
+    decoded = spec_from_json(spec_to_json(spec))
+    assert decoded == spec
+    assert decoded.digest() == spec.digest()
+
+
+def test_round_trip_survives_json_serialization():
+    """The encoded form must survive an actual JSON dump/load (tuples
+    would silently become lists without the tagged encoding)."""
+    spec = _rich_spec()
+    wire = json.loads(json.dumps(spec_to_json(spec)))
+    assert spec_from_json(wire).digest() == spec.digest()
+
+
+def test_grid_round_trip():
+    specs = expand_grid(["gdnpeu", "gdmshr"], ["unsafe", "dom-nontso"])
+    decoded = specs_from_json(json.loads(json.dumps(specs_to_json(specs))))
+    assert [s.digest() for s in decoded] == [s.digest() for s in specs]
+
+
+def test_unknown_tagged_value_rejected():
+    payload = spec_to_json(_rich_spec())
+    payload["victim_kwargs"] = [["bad", {"$frozenset": [1]}]]
+    with pytest.raises(ValueError):
+        spec_from_json(payload)
+
+
+def test_sweep_result_round_trip():
+    specs = expand_grid(["gdnpeu"], ["dom-nontso"], (0, 1))
+    outcomes = [run_trial_outcome(s, attempt=0) for s in specs]
+    result = SweepResult(
+        summaries=[o.summary for o in outcomes if o.summary is not None],
+        elapsed=1.5,
+        workers=2,
+        failures=[o for o in outcomes if not o.ok],
+        outcomes=outcomes,
+        cache_stats={"hits": 1, "misses": 1},
+    )
+    decoded = sweep_result_from_json(
+        json.loads(json.dumps(sweep_result_to_json(result)))
+    )
+    assert result_signature(decoded.outcomes) == result_signature(outcomes)
+    assert decoded.cache_stats == result.cache_stats
+    assert decoded.workers == 2
+    assert [s.victim for s in decoded.summaries] == [
+        s.victim for s in result.summaries
+    ]
+
+
+def test_result_signature_ignores_attempts():
+    specs = expand_grid(["gdnpeu"], ["dom-nontso"], (0,))
+    first = run_trial_outcome(specs[0], attempt=0)
+    retried = run_trial_outcome(specs[0], attempt=2)
+    assert first.attempts != retried.attempts
+    assert result_signature([first]) == result_signature([retried])

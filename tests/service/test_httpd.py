@@ -1,0 +1,140 @@
+"""HTTP/SSE front end over a live service directory."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.runner.spec import expand_grid
+from repro.service.codec import result_signature, specs_to_json, sweep_result_from_json
+from repro.service.httpd import start_http_server
+from repro.service.supervisor import SweepSupervisor
+
+SPECS = expand_grid(["gdnpeu"], ["unsafe"], (0, 1))
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = start_http_server(tmp_path, quotas={"capped": 1})
+    yield srv
+    srv.shutdown()
+
+
+def _url(server, path):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def _get(server, path):
+    with urllib.request.urlopen(_url(server, path), timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post(server, path, payload=None):
+    request = urllib.request.Request(
+        _url(server, path),
+        data=json.dumps(payload or {}).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _submit(server, specs=SPECS, **extra):
+    status, body = _post(
+        server, "/v1/jobs", {"specs": specs_to_json(specs), **extra}
+    )
+    assert status == 201
+    return body["job_id"]
+
+
+def test_healthz(server):
+    assert _get(server, "/v1/healthz") == (200, {"ok": True})
+
+
+def test_submit_status_result_round_trip(server, tmp_path):
+    job_id = _submit(server, priority=2)
+    status, body = _get(server, "/v1/jobs")
+    assert body["jobs"][job_id]["status"] == "queued"
+    assert body["jobs"][job_id]["priority"] == 2
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(server, f"/v1/jobs/{job_id}/result")
+    assert excinfo.value.code == 404  # not published yet
+
+    SweepSupervisor(tmp_path, workers=2, chunksize=2,
+                    poll_interval=0.01).run_until_idle(timeout=120)
+
+    status, progress = _get(server, f"/v1/jobs/{job_id}")
+    assert progress["status"] == "done"
+    assert progress["finished"] == len(SPECS)
+
+    status, payload = _get(server, f"/v1/jobs/{job_id}/result")
+    result = sweep_result_from_json(payload)
+    assert len(result.outcomes) == len(SPECS)
+    assert not result.failures
+
+
+def test_sse_stream_ends_with_job_done(server, tmp_path):
+    job_id = _submit(server)
+    SweepSupervisor(tmp_path, workers=2, chunksize=2,
+                    poll_interval=0.01).run_until_idle(timeout=120)
+    with urllib.request.urlopen(
+        _url(server, f"/v1/jobs/{job_id}/stream"), timeout=30
+    ) as resp:
+        assert resp.headers["Content-Type"] == "text/event-stream"
+        raw = resp.read().decode()
+    frames = [frame for frame in raw.split("\n\n") if frame.strip()]
+    events = [frame.split("\n", 1)[0] for frame in frames]
+    assert events.count("event: trial") == len(SPECS)
+    assert events[-1] == "event: job-done"
+    # Each data line is valid JSON carrying the delta.
+    payload = json.loads(frames[0].split("data: ", 1)[1])
+    assert payload["event"] == "trial"
+
+
+def test_quota_returns_429(server):
+    _submit(server, tenant="capped")
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _submit(server, tenant="capped")
+    assert excinfo.value.code == 429
+
+
+def test_malformed_submit_returns_400(server):
+    for payload in ({}, {"specs": "nope"}, {"specs": []},
+                    {"specs": [{"victim": "x"}]}):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server, "/v1/jobs", payload)
+        assert excinfo.value.code == 400, payload
+
+
+def test_cancel_endpoint(server):
+    job_id = _submit(server)
+    status, body = _post(server, f"/v1/jobs/{job_id}/cancel")
+    assert (status, body) == (200, {"cancelled": job_id})
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(server, f"/v1/jobs/{job_id}/cancel")  # already terminal
+    assert excinfo.value.code == 409
+
+
+def test_unknown_routes_and_jobs_return_404(server):
+    for path in ("/nope", "/v1/jobs/zzzz", "/v1/jobs/" + "0" * 16):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, path)
+        assert excinfo.value.code == 404, path
+
+
+def test_http_result_signature_matches_in_process_run(server, tmp_path):
+    """The service's HTTP-published result is the same result an
+    in-process run produces (transport adds nothing, loses nothing)."""
+    from repro.runner.runner import run_trial_outcome
+
+    job_id = _submit(server)
+    SweepSupervisor(tmp_path, workers=1, chunksize=4,
+                    poll_interval=0.01).run_until_idle(timeout=120)
+    _, payload = _get(server, f"/v1/jobs/{job_id}/result")
+    decoded = sweep_result_from_json(payload)
+    clean = [run_trial_outcome(s, attempt=0) for s in SPECS]
+    assert result_signature(decoded.outcomes) == result_signature(clean)

@@ -1,0 +1,118 @@
+"""Lease table: grants, heartbeats, expiry, clock skew, crash replay."""
+
+from repro.service.lease import LeaseTable
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def _table(tmp_path, clock, **kwargs):
+    return LeaseTable(
+        tmp_path / "leases.jsonl", ttl=5.0, skew_tolerance=2.0,
+        clock=clock, **kwargs
+    )
+
+
+def test_grant_heartbeat_release_lifecycle(tmp_path):
+    clock = FakeClock()
+    table = _table(tmp_path, clock)
+    table.grant("job/1", "w0", pid=123)
+    assert "job/1" in table.live()
+    assert not table.expired()
+    clock.advance(4.0)
+    table.heartbeat("job/1", "w0", pid=123)
+    table.poll()
+    clock.advance(4.0)  # 8s since grant, 4s since heartbeat: still live
+    assert not table.expired()
+    table.release("job/1", "w0")
+    table.poll()
+    assert table.released("job/1")
+    assert table.live() == {}
+
+
+def test_expiry_without_heartbeat(tmp_path):
+    clock = FakeClock()
+    table = _table(tmp_path, clock)
+    table.grant("job/1", "w0")
+    clock.advance(5.5)
+    table.poll()
+    assert [lease.lease_id for lease in table.expired()] == ["job/1"]
+    table.reclaim("job/1")
+    assert table.live() == {}
+
+
+def test_fast_clock_cannot_extend_lease_past_tolerance(tmp_path):
+    """A worker whose clock runs far ahead must not pin its lease into
+    the future: heartbeat timestamps clamp to now + skew_tolerance."""
+    supervisor_clock = FakeClock()
+    table = _table(tmp_path, supervisor_clock)
+    table.grant("job/1", "w0")
+    # Worker heartbeats through its own (fast-by-60s) clock instance.
+    worker_clock = FakeClock(supervisor_clock.now + 60.0)
+    worker_table = _table(tmp_path, worker_clock)
+    worker_table.heartbeat("job/1", "w0")
+    table.poll()
+    # Effective heartbeat ts is clamped to now+2, so the lease expires
+    # at now+2+ttl, not now+60+ttl.
+    supervisor_clock.advance(8.0)
+    table.poll()
+    assert [lease.lease_id for lease in table.expired()] == ["job/1"]
+
+
+def test_slow_clock_expires_early_which_is_safe(tmp_path):
+    supervisor_clock = FakeClock()
+    table = _table(tmp_path, supervisor_clock)
+    table.grant("job/1", "w0")
+    worker_clock = FakeClock(supervisor_clock.now - 30.0)
+    worker_table = _table(tmp_path, worker_clock)
+    supervisor_clock.advance(4.0)
+    worker_table.heartbeat("job/1", "w0")
+    table.poll()
+    supervisor_clock.advance(4.0)
+    table.poll()
+    # The stale-looking heartbeat did not extend the lease; it expired
+    # on the original grant deadline.  Early expiry only re-runs work.
+    assert [lease.lease_id for lease in table.expired()] == ["job/1"]
+
+
+def test_replay_adopts_live_leases(tmp_path):
+    clock = FakeClock()
+    table = _table(tmp_path, clock)
+    table.grant("job/1", "w0", pid=42)
+    table.grant("job/2", "w1")
+    table.release("job/2", "w1")
+    # A fresh table (supervisor restart) replays the journal.
+    adopted = _table(tmp_path, clock)
+    assert set(adopted.live()) == {"job/1"}
+    assert adopted.live()["job/1"].pid == 42
+
+
+def test_heartbeat_after_reclaim_is_ignored(tmp_path):
+    clock = FakeClock()
+    table = _table(tmp_path, clock)
+    table.grant("job/1", "w0")
+    table.reclaim("job/1")
+    table.heartbeat("job/1", "w0")  # zombie worker still appending
+    table.poll()
+    assert table.live() == {}
+
+
+def test_incremental_poll_only_reads_new_bytes(tmp_path):
+    clock = FakeClock()
+    table = _table(tmp_path, clock)
+    table.grant("job/1", "w0")
+    table.poll()  # consumes the grant record
+    offset_after_grant = table._offset
+    table.poll()  # nothing new: offset must not move
+    assert table._offset == offset_after_grant
+    table.heartbeat("job/1", "w0")
+    table.poll()
+    assert table._offset > offset_after_grant

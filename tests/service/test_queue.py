@@ -1,0 +1,160 @@
+"""Durable job queue: persistence, priorities, quotas, torn journals."""
+
+import os
+
+import pytest
+
+from repro.runner import faults
+from repro.runner.spec import expand_grid
+from repro.service.queue import (
+    DurableJobQueue,
+    JobStatus,
+    QuotaExceeded,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_fs_plan():
+    faults.clear_fs_plan()
+    yield
+    faults.clear_fs_plan()
+
+
+def _specs(n_schemes=1):
+    return expand_grid(
+        ["gdnpeu"], ["unsafe", "dom-nontso"][:n_schemes], (0, 1)
+    )
+
+
+def test_submit_persists_specs_and_state(tmp_path):
+    queue = DurableJobQueue(tmp_path)
+    specs = _specs()
+    job_id = queue.submit(specs, priority=3, tenant="team-a")
+    view = queue.jobs()[job_id]
+    assert view.status is JobStatus.QUEUED
+    assert view.priority == 3
+    assert view.tenant == "team-a"
+    assert view.n_specs == len(specs)
+    loaded = queue.load_specs(job_id)
+    assert [s.digest() for s in loaded] == [s.digest() for s in specs]
+
+
+def test_state_survives_reopen(tmp_path):
+    queue = DurableJobQueue(tmp_path)
+    job_id = queue.submit(_specs())
+    queue.claim_next()
+    reopened = DurableJobQueue(tmp_path)
+    assert reopened.jobs()[job_id].status is JobStatus.RUNNING
+    reopened.complete(job_id)
+    assert DurableJobQueue(tmp_path).jobs()[job_id].status is JobStatus.DONE
+
+
+def test_empty_submit_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        DurableJobQueue(tmp_path).submit([])
+
+
+def test_priority_then_fifo_claim_order(tmp_path):
+    queue = DurableJobQueue(tmp_path)
+    low_first = queue.submit(_specs(), priority=0)
+    high = queue.submit(_specs(2), priority=5)
+    low_second = queue.submit(_specs(), priority=0, tenant="b")
+    claimed = [queue.claim_next().job_id for _ in range(3)]
+    assert claimed == [high, low_first, low_second]
+    assert queue.claim_next() is None
+
+
+def test_per_tenant_quota(tmp_path):
+    queue = DurableJobQueue(tmp_path, quotas={"a": 2}, default_quota=1)
+    queue.submit(_specs(), tenant="a")
+    queue.submit(_specs(), tenant="a")
+    with pytest.raises(QuotaExceeded):
+        queue.submit(_specs(), tenant="a")
+    queue.submit(_specs(), tenant="b")
+    with pytest.raises(QuotaExceeded):
+        queue.submit(_specs(), tenant="b")
+
+
+def test_quota_frees_on_terminal_states(tmp_path):
+    queue = DurableJobQueue(tmp_path, default_quota=1)
+    job_id = queue.submit(_specs())
+    with pytest.raises(QuotaExceeded):
+        queue.submit(_specs(2))
+    queue.claim_next()
+    queue.complete(job_id)
+    second = queue.submit(_specs(2))  # done jobs do not count
+    queue.cancel(second)
+    queue.submit(_specs())  # cancelled jobs do not count either
+
+
+def test_cancel_semantics(tmp_path):
+    queue = DurableJobQueue(tmp_path)
+    job_id = queue.submit(_specs())
+    assert queue.cancel(job_id) is True
+    assert queue.jobs()[job_id].status is JobStatus.CANCELLED
+    assert queue.cancel(job_id) is False  # already terminal
+    assert queue.cancel("0" * 16) is False  # unknown
+
+
+def test_stale_events_on_terminal_jobs_ignored(tmp_path):
+    """A crashed supervisor may replay a duplicate transition; the fold
+    must keep terminal states terminal."""
+    queue = DurableJobQueue(tmp_path)
+    job_id = queue.submit(_specs())
+    queue.claim_next()
+    queue.complete(job_id)
+    queue.complete(job_id)  # idempotent retry after a deferred finalize
+    queue.cancel(job_id)
+    assert queue.jobs()[job_id].status is JobStatus.DONE
+
+
+def test_torn_queue_append_loses_only_that_event(tmp_path):
+    """A torn submit event must not corrupt the following append."""
+    queue = DurableJobQueue(tmp_path)
+    first = queue.submit(_specs())
+    faults.install_fs_plan(
+        faults.FSFaultPlan(
+            faults=(
+                faults.FSFaultSpec(
+                    faults.FS_TORN, op=faults.OP_QUEUE_APPEND
+                ),
+            )
+        )
+    )
+    torn = queue.submit(_specs(2))  # event append torn mid-record
+    faults.clear_fs_plan()
+    third = queue.submit(_specs(2), tenant="c")
+    views = DurableJobQueue(tmp_path).jobs()
+    assert first in views and third in views
+    # The torn job was never acknowledged durably: replay drops it, and
+    # its orphaned spec dir is invisible to scheduling.
+    assert torn not in views
+    assert DurableJobQueue(tmp_path).claim_next().job_id == first
+
+
+def test_enospc_surfaces_to_submitter(tmp_path):
+    queue = DurableJobQueue(tmp_path)
+    faults.install_fs_plan(
+        faults.FSFaultPlan(
+            faults=(
+                faults.FSFaultSpec(
+                    faults.FS_ENOSPC, op=faults.OP_QUEUE_APPEND
+                ),
+            )
+        )
+    )
+    with pytest.raises(OSError) as excinfo:
+        queue.submit(_specs())
+    assert excinfo.value.errno == 28  # ENOSPC
+    faults.clear_fs_plan()
+    job_id = queue.submit(_specs())
+    assert queue.jobs()[job_id].status is JobStatus.QUEUED
+
+
+def test_job_dirs_layout(tmp_path):
+    queue = DurableJobQueue(tmp_path)
+    job_id = queue.submit(_specs())
+    assert os.path.exists(queue.specs_path(job_id))
+    assert queue.trial_journal_path(job_id).endswith(
+        os.path.join(job_id, "journal.jsonl")
+    )

@@ -1,0 +1,137 @@
+"""WAL helpers and streaming partial results."""
+
+import json
+import threading
+
+from repro.runner.runner import run_trial_outcome
+from repro.runner.spec import expand_grid
+from repro.service import stream, wal
+
+
+def _wal(tmp_path):
+    return str(tmp_path / "log.jsonl")
+
+
+# ---------------------------------------------------------------------
+# wal primitives
+# ---------------------------------------------------------------------
+def test_append_and_replay(tmp_path):
+    path = _wal(tmp_path)
+    for i in range(3):
+        wal.append_record(path, {"i": i}, op="stream.append")
+    assert [r["i"] for r in wal.replay(path)] == [0, 1, 2]
+
+
+def test_incremental_read(tmp_path):
+    path = _wal(tmp_path)
+    wal.append_record(path, {"i": 0}, op="stream.append")
+    records, offset = wal.read_records(path)
+    assert [r["i"] for r in records] == [0]
+    records, offset = wal.read_records(path, offset)
+    assert records == []
+    wal.append_record(path, {"i": 1}, op="stream.append")
+    records, _ = wal.read_records(path, offset)
+    assert [r["i"] for r in records] == [1]
+
+
+def test_torn_record_does_not_eat_the_next_one(tmp_path):
+    """The leading-separator idiom: a record torn mid-line must not
+    merge with (and destroy) the record appended after it."""
+    path = _wal(tmp_path)
+    wal.append_record(path, {"i": 0}, op="stream.append")
+    with open(path, "ab") as fh:  # simulate a writer killed mid-append
+        fh.write(b'\n{"i": 1, "torn')
+    wal.append_record(path, {"i": 2}, op="stream.append")
+    assert [r["i"] for r in wal.replay(path)] == [0, 2]
+
+
+def test_partial_final_line_left_unconsumed(tmp_path):
+    path = _wal(tmp_path)
+    wal.append_record(path, {"i": 0}, op="stream.append")
+    with open(path, "ab") as fh:
+        fh.write(b'\n{"i": 1')  # still being written, no newline yet
+    records, offset = wal.read_records(path)
+    assert [r["i"] for r in records] == [0]
+    with open(path, "ab") as fh:
+        fh.write(b"}\n")  # the writer finishes
+    records, _ = wal.read_records(path, offset)
+    assert [r["i"] for r in records] == [1]
+
+
+def test_atomic_write_and_load(tmp_path):
+    path = str(tmp_path / "doc.json")
+    wal.atomic_write_json(path, {"x": [1, 2]})
+    assert wal.load_json(path) == {"x": [1, 2]}
+    with open(path, "w") as fh:
+        fh.write('{"x": [1,')  # torn document
+    assert wal.load_json(path) is None
+    assert wal.load_json(str(tmp_path / "absent.json")) is None
+
+
+# ---------------------------------------------------------------------
+# stream layer
+# ---------------------------------------------------------------------
+def test_outcome_deltas_round_trip(tmp_path):
+    path = _wal(tmp_path)
+    spec = expand_grid(["gdnpeu"], ["unsafe"], (0,))[0]
+    outcome = run_trial_outcome(spec, attempt=0)
+    stream.append_outcome(path, outcome)
+    records, _ = stream.read_events(path)
+    assert len(records) == 1
+    assert records[0]["event"] == "trial"
+    assert records[0]["digest"] == spec.digest()
+    assert records[0]["status"] == "ok"
+
+
+def test_oversize_delta_degrades_to_marker(tmp_path):
+    path = _wal(tmp_path)
+    stream.append_event(
+        path,
+        {"event": "trial", "digest": "d" * 16, "blob": "x" * stream.STREAM_BUDGET},
+    )
+    records, _ = stream.read_events(path)
+    assert records == [
+        {"event": "oversize", "original_event": "trial", "digest": "d" * 16}
+    ]
+    # The marker itself respects the budget.
+    assert len(json.dumps(records[0])) < stream.STREAM_BUDGET
+
+
+def test_follow_ends_on_terminal_event(tmp_path):
+    path = _wal(tmp_path)
+    seen = []
+
+    def producer():
+        for i in range(3):
+            stream.append_event(path, {"event": "trial", "i": i})
+        stream.append_event(path, {"event": "job-done"})
+
+    thread = threading.Thread(target=producer)
+    thread.start()
+    for record in stream.follow(path, poll_interval=0.005, timeout=10.0):
+        seen.append(record["event"])
+    thread.join()
+    assert seen == ["trial", "trial", "trial", "job-done"]
+
+
+def test_follow_timeout_and_should_stop(tmp_path):
+    path = _wal(tmp_path)
+    assert list(stream.follow(path, timeout=0.05, poll_interval=0.01)) == []
+    calls = []
+
+    def stop():
+        calls.append(1)
+        return len(calls) > 2
+
+    records = list(
+        stream.follow(path, poll_interval=0.005, should_stop=stop)
+    )
+    assert records == []
+
+
+def test_sse_frame_shape(tmp_path):
+    frame = stream.sse_frame({"event": "trial", "digest": "abc"})
+    assert frame.startswith(b"event: trial\ndata: ")
+    assert frame.endswith(b"\n\n")
+    payload = json.loads(frame.split(b"data: ", 1)[1].strip())
+    assert payload["digest"] == "abc"
