@@ -23,6 +23,7 @@ from repro.isa.instructions import (
 from repro.isa.program import Program
 from repro.isa.builder import ProgramBuilder
 from repro.isa.interpreter import Interpreter, InterpreterResult
+from repro.isa.symbolic import SecretSpace, SymVal, lift, sym_apply
 
 __all__ = [
     "OpClass",
@@ -31,6 +32,10 @@ __all__ = [
     "ProgramBuilder",
     "Interpreter",
     "InterpreterResult",
+    "SecretSpace",
+    "SymVal",
+    "lift",
+    "sym_apply",
     "alu",
     "imm",
     "load",

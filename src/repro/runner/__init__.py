@@ -39,6 +39,7 @@ from repro.runner.spec import (
     expand_grid,
 )
 from repro.runner.cache import TrialCache, cache_key
+from repro.runner.replay import REPLAY_MAX_CYCLES, pair_specs, replay_pair
 from repro.runner.journal import TrialJournal
 from repro.runner.metrics_io import (
     aggregate_from_file,
@@ -84,6 +85,9 @@ __all__ = [
     "FaultInjector",
     "FSFaultSpec",
     "FSFaultPlan",
+    "REPLAY_MAX_CYCLES",
+    "pair_specs",
+    "replay_pair",
     "backoff_delay",
     "write_sweep_metrics",
     "read_sweep_metrics",

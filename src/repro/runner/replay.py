@@ -1,0 +1,77 @@
+"""Replay a secret pair through the cycle-level simulator.
+
+The bridge the symbolic checker (:mod:`repro.symni`) uses to ground a
+counterexample in dynamic truth: build the two :class:`TrialSpec`\\ s a
+(victim, scheme, secret0, secret1) quadruple describes and run them
+fault-isolated in process.  This module lives in the runner layer on
+purpose — it knows nothing about symbolic verdicts or static findings,
+and the analysis layers above it import *this*, never the reverse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.memory.hierarchy import HierarchyConfig
+from repro.runner.runner import run_trial_outcome
+from repro.runner.spec import TrialOutcome, TrialSpec, trial_seed
+
+#: Replay cycle budget.  Generous: interference victims finish in a few
+#: thousand cycles; a runaway means the deadlock detector should win.
+REPLAY_MAX_CYCLES = 40_000
+
+
+def pair_specs(
+    victim: str,
+    scheme: str,
+    secrets: Tuple[int, int],
+    *,
+    victim_kwargs: Optional[Dict[str, object]] = None,
+    base_seed: int = 0,
+    max_cycles: int = REPLAY_MAX_CYCLES,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+) -> Tuple[TrialSpec, TrialSpec]:
+    """The two trial descriptions of one secret-pair replay."""
+    kwargs = tuple(sorted((victim_kwargs or {}).items()))
+    return tuple(  # type: ignore[return-value]
+        TrialSpec(
+            victim=victim,
+            scheme=scheme,
+            secret=secret,
+            victim_kwargs=kwargs,
+            seed=trial_seed(victim, scheme, secret, base_seed),
+            max_cycles=max_cycles,
+            hierarchy_config=hierarchy_config,
+        )
+        for secret in secrets
+    )
+
+
+def replay_pair(
+    victim: str,
+    scheme: str,
+    secrets: Tuple[int, int],
+    *,
+    victim_kwargs: Optional[Dict[str, object]] = None,
+    base_seed: int = 0,
+    max_cycles: int = REPLAY_MAX_CYCLES,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+) -> Tuple[TrialOutcome, TrialOutcome]:
+    """Run both secrets through the simulator, fault-isolated.
+
+    Always returns two structured outcomes (``plan=None`` disables any
+    process-active fault plan: replays are evidence, not chaos drills).
+    """
+    spec0, spec1 = pair_specs(
+        victim,
+        scheme,
+        secrets,
+        victim_kwargs=victim_kwargs,
+        base_seed=base_seed,
+        max_cycles=max_cycles,
+        hierarchy_config=hierarchy_config,
+    )
+    return (
+        run_trial_outcome(spec0, plan=None),
+        run_trial_outcome(spec1, plan=None),
+    )

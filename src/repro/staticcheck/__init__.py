@@ -37,10 +37,17 @@ from repro.staticcheck.cfg import (
     speculative_windows,
 )
 from repro.staticcheck.crossval import (
+    AGREE_CLEAN,
+    AGREE_LEAK,
+    DYNAMIC_ONLY,
+    SYMBOLIC_ONLY,
     CrossValidation,
+    ReconcileRow,
     Signal,
     cross_validate,
     dynamic_signals,
+    reconcile_verdicts,
+    render_reconciliation,
 )
 from repro.staticcheck.dataflow import AbsValue, SlotFacts, TaintAnalysis, TaintPolicy
 from repro.staticcheck.detectors import DetectorConfig, detect_gadgets
@@ -63,11 +70,14 @@ from repro.staticcheck.sanitizer import (
 )
 
 __all__ = [
+    "AGREE_CLEAN",
+    "AGREE_LEAK",
     "AbsValue",
     "AnalysisConfig",
     "AnalysisReport",
     "ControlFlowGraph",
     "CrossValidation",
+    "DYNAMIC_ONLY",
     "DetectorConfig",
     "EDGE_FALLTHROUGH",
     "EDGE_TAKEN",
@@ -80,7 +90,9 @@ __all__ = [
     "InvariantSanitizer",
     "InvariantViolation",
     "PrefilterResult",
+    "ReconcileRow",
     "ResourceSummary",
+    "SYMBOLIC_ONLY",
     "Severity",
     "Signal",
     "SlotFacts",
@@ -94,6 +106,8 @@ __all__ = [
     "detect_gadgets",
     "dynamic_signals",
     "prefilter_specs",
+    "reconcile_verdicts",
+    "render_reconciliation",
     "speculative_windows",
     "summarize_resources",
 ]

@@ -8,16 +8,23 @@ and must expose one of:
 * ``PROGRAM`` — a :class:`~repro.isa.program.Program`, optionally with
   ``SECRET_ADDRS`` (addresses seeding taint) and ``REGISTERS``.
 
-With no targets, every built-in victim is analyzed.  Exit status: 0 on
-success, 1 when ``--fail-on-findings`` is given and anything was found
-or a ``--require-family`` is missing or a cross-validation failed, 2 on
-bad usage.
+With no targets, every built-in victim is analyzed.  Exit status:
+
+* ``0`` — analysis ran, nothing gated;
+* ``1`` — a gate tripped: ``--fail-on-findings`` with findings, a
+  missing ``--require-family``, an unconfirmed cross-validation, or a
+  ``--symni`` disagreement;
+* ``2`` — bad usage;
+* ``3`` — the analysis itself failed (a crash is never a verdict).
+
+``head``-truncated output (SIGPIPE) exits 0 quietly, service-style.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import runpy
 import sys
 from pathlib import Path
@@ -132,12 +139,68 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 if any finding is reported (gate for clean programs)",
     )
+    parser.add_argument(
+        "--symni",
+        action="store_true",
+        help=(
+            "reconcile the bounded symbolic noninterference verdict "
+            "(repro.symni) against the simulator's dynamic signals for "
+            "every victim target under --scheme; exit 1 on disagreement"
+        ),
+    )
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def _run_symni(args: argparse.Namespace, targets: List[str]) -> int:
+    """The ``--symni`` mode: one reconciliation table, not a report."""
+    # Function-level: repro.symni layers above this package.
+    from repro.staticcheck.crossval import (
+        reconcile_verdicts,
+        render_reconciliation,
+    )
+
+    victims = [t for t in targets if t in VICTIM_FACTORIES]
+    unknown = [t for t in targets if t not in VICTIM_FACTORIES]
+    if unknown:
+        raise _usage_error(
+            "--symni reconciles built-in victims only; not victim "
+            f"names: {', '.join(unknown)}"
+        )
+    rows = reconcile_verdicts(victims, schemes=[args.scheme])
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "victim": r.victim,
+                        "scheme": r.scheme,
+                        "symbolic_status": r.symbolic_status,
+                        "symbolic_kind": r.symbolic_kind,
+                        "dynamic_kinds": list(r.dynamic_kinds),
+                        "agreement": r.agreement,
+                        "detail": r.detail,
+                    }
+                    for r in rows
+                ],
+                indent=2,
+            )
+        )
+    else:
+        print(render_reconciliation(rows))
+    if any(not r.agrees for r in rows):
+        print(
+            "error: symbolic and dynamic verdicts disagree (see table)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def run(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     targets = list(args.targets) or sorted(VICTIM_FACTORIES)
+    if args.symni:
+        return _run_symni(args, targets)
     resolved = _resolve_targets(targets)
 
     unconfirmed: List[str] = []
@@ -174,6 +237,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {total} finding(s) reported", file=sys.stderr)
         status = 1
     return status
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point with the exit-code contract of the docstring:
+    gates return 1, usage errors 2, analysis crashes 3 — so callers can
+    tell "the program is dirty" from "the analyzer broke" — and a
+    closed stdout (``| head``) is a quiet success, not a traceback."""
+    try:
+        return run(argv)
+    except SystemExit as exc:
+        code = exc.code
+        return code if isinstance(code, int) else 2
+    except BrokenPipeError:
+        # Downstream closed the pipe; hand the interpreter a harmless
+        # stdout so its shutdown flush cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except Exception as exc:  # noqa: BLE001 - the 3 is the contract
+        print(f"error: analysis failed: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

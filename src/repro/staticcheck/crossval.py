@@ -146,6 +146,132 @@ def _finding_confirmed(finding: Finding, signals: List[Signal]) -> bool:
     return bool(signals)  # forward interference: any witness
 
 
+# ----------------------------------------------------------------------
+# symbolic <-> dynamic reconciliation (the --symni mode)
+# ----------------------------------------------------------------------
+AGREE_LEAK = "agree-leak"
+AGREE_CLEAN = "agree-clean"
+SYMBOLIC_ONLY = "symbolic-only"
+DYNAMIC_ONLY = "dynamic-only"
+
+
+@dataclass(frozen=True)
+class ReconcileRow:
+    """One (victim, scheme) line of the symbolic/dynamic reconciliation.
+
+    ``agreement`` is one of :data:`AGREE_LEAK`, :data:`AGREE_CLEAN`,
+    :data:`SYMBOLIC_ONLY` (the symbolic checker diverges but the
+    simulator shows no signal — an abstraction gap) and
+    :data:`DYNAMIC_ONLY` (the simulator leaks but the bounded symbolic
+    check stayed clean — a model blind spot).  Disagreement rows are the
+    product: they are reported explicitly, never filtered.
+    """
+
+    victim: str
+    scheme: str
+    symbolic_status: str
+    symbolic_kind: Optional[str]
+    dynamic_kinds: Tuple[str, ...]
+    agreement: str
+    detail: str
+
+    @property
+    def agrees(self) -> bool:
+        return self.agreement in (AGREE_LEAK, AGREE_CLEAN)
+
+
+def reconcile_verdicts(
+    victims: Optional[List[str]] = None,
+    schemes: Optional[List[str]] = None,
+    *,
+    margin: int = MARGIN,
+    max_cycles: int = 40_000,
+) -> List[ReconcileRow]:
+    """One reconciliation row per (victim, scheme): the bounded symbolic
+    verdict against the simulator's dynamic signals, in one table.
+
+    The symbolic check runs with replay disabled — this function *is*
+    the replay, and attaching the dynamic signals it computes keeps the
+    whole comparison at one simulation pair per row.
+    """
+    # Function-level import: repro.symni sits above this package, and a
+    # module-level import would be circular through our __init__.
+    from repro.core.victims import VICTIM_FACTORIES, victim_by_name
+    from repro.schemes.registry import SCHEME_FACTORIES
+    from repro.symni.checker import STATUS_CLEAN, check_victim
+
+    victim_names = list(victims) if victims else sorted(VICTIM_FACTORIES)
+    scheme_names = list(schemes) if schemes else sorted(SCHEME_FACTORIES)
+    rows: List[ReconcileRow] = []
+    for victim in victim_names:
+        spec = victim_by_name(victim)
+        for scheme in scheme_names:
+            verdict = check_victim(victim, scheme, replay=False)
+            signals = dynamic_signals(
+                spec, scheme, margin=margin, max_cycles=max_cycles
+            )
+            symbolic_leak = verdict.status != STATUS_CLEAN
+            dynamic_leak = bool(signals)
+            if symbolic_leak and dynamic_leak:
+                agreement = AGREE_LEAK
+                detail = signals[0].detail
+            elif symbolic_leak:
+                agreement = SYMBOLIC_ONLY
+                assert verdict.divergence is not None
+                detail = (
+                    "abstraction gap: "
+                    + verdict.divergence.describe()
+                )
+            elif dynamic_leak:
+                agreement = DYNAMIC_ONLY
+                detail = (
+                    "model blind spot: " + signals[0].detail
+                )
+            else:
+                agreement = AGREE_CLEAN
+                detail = ""
+            rows.append(
+                ReconcileRow(
+                    victim=victim,
+                    scheme=scheme,
+                    symbolic_status=verdict.status,
+                    symbolic_kind=(
+                        verdict.divergence.kind
+                        if verdict.divergence is not None
+                        else None
+                    ),
+                    dynamic_kinds=tuple(
+                        dict.fromkeys(s.kind for s in signals)
+                    ),
+                    agreement=agreement,
+                    detail=detail,
+                )
+            )
+    return rows
+
+
+def render_reconciliation(rows: List[ReconcileRow]) -> str:
+    """The one-table human rendering of a reconciliation run."""
+    width_v = max((len(r.victim) for r in rows), default=6)
+    width_s = max((len(r.scheme) for r in rows), default=6)
+    lines = []
+    for row in rows:
+        marker = " " if row.agrees else "X"
+        sym = row.symbolic_kind or "-"
+        dyn = ",".join(row.dynamic_kinds) or "-"
+        lines.append(
+            f"{marker} {row.victim:<{width_v}}  {row.scheme:<{width_s}}  "
+            f"{row.agreement:<13}  sym={sym}  dyn={dyn}"
+        )
+        if not row.agrees and row.detail:
+            lines.append(f"    {row.detail}")
+    disagreements = sum(1 for r in rows if not r.agrees)
+    lines.append(
+        f"-- {len(rows)} pair(s), {disagreements} disagreement(s)"
+    )
+    return "\n".join(lines)
+
+
 def cross_validate(
     spec: VictimSpec,
     report: AnalysisReport,

@@ -41,12 +41,10 @@ from repro.staticcheck.report import (
     Severity,
     make_evidence,
 )
-from repro.staticcheck.resources import ResourceSummary
-
-#: An older instruction with at least this latency counts as plausibly
-#: still pending when the speculative window issues (forward
-#: interference needs the bound-to-retire op to overlap the window).
-PENDING_LATENCY_THRESHOLD = 5
+from repro.staticcheck.resources import (
+    PENDING_LATENCY_THRESHOLD,
+    ResourceSummary,
+)
 
 #: At most this many (older, younger) pairs are listed per
 #: forward-interference finding's evidence.
@@ -229,12 +227,7 @@ def detect_girs(
 # forward interference
 # ----------------------------------------------------------------------
 def _may_be_pending(summary: ResourceSummary) -> bool:
-    return (
-        summary.is_load
-        or summary.occupies_nonpipelined_unit
-        or summary.operand_dependent
-        or summary.latency >= PENDING_LATENCY_THRESHOLD
-    )
+    return summary.may_be_pending(PENDING_LATENCY_THRESHOLD)
 
 
 def detect_forward_interference(

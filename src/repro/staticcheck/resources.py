@@ -19,6 +19,12 @@ from repro.isa.instructions import OpClass
 from repro.isa.program import Program
 from repro.pipeline.config import CoreConfig
 
+#: An instruction with at least this static latency counts as plausibly
+#: still pending (in flight) when a speculative window built after it
+#: begins issuing.  Shared by the forward-interference detector and the
+#: symbolic executor's contention model (:mod:`repro.symni`).
+PENDING_LATENCY_THRESHOLD = 5
+
 
 @dataclass(frozen=True)
 class ResourceSummary:
@@ -49,6 +55,23 @@ class ResourceSummary:
     @property
     def occupies_nonpipelined_unit(self) -> bool:
         return not self.pipelined
+
+    def may_be_pending(
+        self, latency_threshold: int = PENDING_LATENCY_THRESHOLD
+    ) -> bool:
+        """Could this instruction still be in flight when younger
+        (possibly mis-speculated) work starts issuing?
+
+        Loads may always miss; a non-pipelined unit holds its port for
+        the whole latency; operand-dependent latency can be anything;
+        and a long static latency overlaps the window by definition.
+        """
+        return (
+            self.is_load
+            or self.occupies_nonpipelined_unit
+            or self.operand_dependent
+            or self.latency >= latency_threshold
+        )
 
 
 def summarize_resources(

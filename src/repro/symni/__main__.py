@@ -1,0 +1,197 @@
+"""``python -m repro.symni`` — the noninterference checker's CLI.
+
+Targets are built-in victim registry names (default: all of them);
+``--scheme`` picks the schemes to check (repeatable; default: every
+registry scheme).  Each (victim, scheme) pair gets one verdict:
+``clean`` (a bounded proof), ``leak-confirmed`` (counterexample
+reproduced by the cycle-level simulator), ``leak-unverified``
+(``--no-replay``) or ``abstraction-gap`` (the simulator disagrees —
+reported, never dropped).
+
+Exit status: ``0`` when nothing gated, ``1`` when ``--expect`` is
+violated or ``--fail-on-leak``/``--fail-on-gap`` trips, ``2`` on bad
+usage, ``3`` when the check itself crashes.  SIGPIPE exits 0 quietly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.victims import VICTIM_FACTORIES
+from repro.schemes.registry import SCHEME_FACTORIES
+from repro.symni.checker import VERDICT_STATUSES, SchemeVerdict, check_victim
+from repro.symni.executor import CheckBounds
+from repro.symni.report import NoninterferenceReport
+
+
+def _usage_error(message: str) -> "SystemExit":
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.symni",
+        description=(
+            "Bounded symbolic noninterference checker: explores a victim "
+            "over its whole secret space under a scheme's visibility "
+            "model and grounds every counterexample in the simulator."
+        ),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="victim registry names (default: all built-in victims)",
+    )
+    parser.add_argument(
+        "--scheme",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="scheme(s) to check, repeatable (default: all registry schemes)",
+    )
+    parser.add_argument(
+        "--bound",
+        type=int,
+        default=CheckBounds().max_window_instrs,
+        metavar="N",
+        help=(
+            "speculative-window instruction bound "
+            f"(default: {CheckBounds().max_window_instrs})"
+        ),
+    )
+    parser.add_argument(
+        "--max-windows",
+        type=int,
+        default=CheckBounds().max_windows,
+        metavar="N",
+        help=f"total windows explored (default: {CheckBounds().max_windows})",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document instead of the human report",
+    )
+    parser.add_argument(
+        "--no-replay",
+        action="store_true",
+        help=(
+            "skip simulator replay: dirty verdicts stay 'leak-unverified' "
+            "instead of being confirmed or demoted to abstraction gaps"
+        ),
+    )
+    parser.add_argument(
+        "--minimize",
+        action="store_true",
+        help="greedily NOP-minimize each counterexample's listing",
+    )
+    parser.add_argument(
+        "--expect",
+        choices=VERDICT_STATUSES,
+        metavar="STATUS",
+        help=(
+            "require every verdict to have this status, exit 1 otherwise "
+            f"(one of: {', '.join(VERDICT_STATUSES)})"
+        ),
+    )
+    parser.add_argument(
+        "--fail-on-leak",
+        action="store_true",
+        help="exit 1 when any verdict is a (confirmed or unverified) leak",
+    )
+    parser.add_argument(
+        "--fail-on-gap",
+        action="store_true",
+        help="exit 1 when any verdict is an abstraction gap",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show divergence/replay detail for every verdict",
+    )
+    return parser
+
+
+def run(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    victims = list(args.targets) or sorted(VICTIM_FACTORIES)
+    for victim in victims:
+        if victim not in VICTIM_FACTORIES:
+            known = ", ".join(sorted(VICTIM_FACTORIES))
+            raise _usage_error(
+                f"unknown victim {victim!r} (known: {known})"
+            )
+    schemes = args.scheme or sorted(SCHEME_FACTORIES)
+    for scheme in schemes:
+        if scheme not in SCHEME_FACTORIES:
+            known = ", ".join(sorted(SCHEME_FACTORIES))
+            raise _usage_error(
+                f"unknown scheme {scheme!r} (known: {known})"
+            )
+    if args.bound <= 0 or args.max_windows <= 0:
+        raise _usage_error("--bound/--max-windows must be positive")
+
+    bounds = CheckBounds(
+        max_window_instrs=args.bound, max_windows=args.max_windows
+    )
+    verdicts: List[SchemeVerdict] = [
+        check_victim(
+            victim,
+            scheme,
+            bounds=bounds,
+            replay=not args.no_replay,
+            minimize=args.minimize,
+        )
+        for victim in victims
+        for scheme in schemes
+    ]
+    report = NoninterferenceReport.from_verdicts(verdicts)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render(verbose=args.verbose))
+
+    status = 0
+    if args.expect is not None:
+        wrong = [v for v in verdicts if v.status != args.expect]
+        if wrong:
+            for verdict in wrong:
+                print(
+                    f"error: expected {args.expect!r} but "
+                    f"{verdict.victim}/{verdict.scheme} is "
+                    f"{verdict.status!r}",
+                    file=sys.stderr,
+                )
+            status = 1
+    if args.fail_on_leak and report.any_leak:
+        print("error: leak verdict(s) present", file=sys.stderr)
+        status = 1
+    if args.fail_on_gap and report.gaps:
+        print("error: abstraction gap(s) present", file=sys.stderr)
+        status = 1
+    return status
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Exit-code contract (see module docstring): gates 1, usage 2,
+    crashes 3, truncated output 0."""
+    try:
+        return run(argv)
+    except SystemExit as exc:
+        code = exc.code
+        return code if isinstance(code, int) else 2
+    except BrokenPipeError:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except Exception as exc:  # noqa: BLE001 - the 3 is the contract
+        print(f"error: check failed: {exc}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""Concrete counterexamples and their greedy minimizer.
+
+A dirty verdict's counterexample is already concrete — the victim's
+program plus the two secret assignments whose footprints diverge.  What
+makes it *legible* is minimization: replace every instruction that is
+not load-bearing with a NOP and keep the replacement exactly when the
+divergence survives, so the listing that reaches the report contains
+little beyond the gadget itself.
+
+The minimizer is deliberately conservative: branches, fences and halts
+are structural (windows and program shape) and never replaced; a
+replacement that makes the program ill-formed (a store whose value
+register is no longer written, say) is skipped rather than repaired.
+Replay always targets the *original* victim — the registry can rebuild
+that one anywhere — with the minimized listing attached as evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import List, Optional, Tuple
+
+from repro.core.victims import VictimSpec
+from repro.isa.instructions import OpClass, nop
+from repro.isa.program import Program
+from repro.isa.symbolic import Assignment, SecretSpace
+from repro.symni.executor import CheckBounds, SymniExecutor
+from repro.symni.model import SchemeModel
+from repro.symni.observables import Divergence, first_divergence
+
+#: Opclasses the minimizer never touches: they define control structure
+#: (speculative windows) or termination.
+_STRUCTURAL = (OpClass.BRANCH, OpClass.FENCE, OpClass.HALT)
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A concrete two-run witness: program + the diverging secret pair."""
+
+    victim: str
+    scheme: str
+    program_listing: str
+    assignment0: Assignment
+    assignment1: Assignment
+    divergence: Divergence
+    #: Listing after greedy NOP minimization (None = not minimized).
+    minimized_listing: Optional[str] = None
+    #: Slots the minimizer proved irrelevant to the divergence.
+    nopped_slots: Tuple[int, ...] = ()
+
+    @property
+    def secrets(self) -> Tuple[int, int]:
+        def last(assignment: Assignment) -> int:
+            value = 0
+            for _, value in assignment:
+                pass
+            return value
+
+        return last(self.assignment0), last(self.assignment1)
+
+    def describe(self) -> str:
+        lines = [
+            f"counterexample for {self.victim} under {self.scheme}:",
+            "  " + self.divergence.describe(),
+        ]
+        if self.minimized_listing is not None:
+            lines.append(
+                f"  minimized: {len(self.nopped_slots)} slot(s) nopped"
+            )
+        return "\n".join(lines)
+
+
+def _still_diverges(
+    program: Program,
+    spec: VictimSpec,
+    model: SchemeModel,
+    bounds: CheckBounds,
+    space: Optional[SecretSpace],
+) -> bool:
+    executor = SymniExecutor(
+        program,
+        model,
+        secret_addr=spec.secret_addr,
+        registers=spec.registers,
+        memory_image=spec.memory_image,
+        prime_l1=spec.prime_l1,
+        flush_lines=spec.flush_lines,
+        cold_ilines=spec.cold_ilines,
+        core_config=spec.core_config,
+        space=space,
+        bounds=bounds,
+    )
+    result = executor.run()
+    return first_divergence(result.traces, result.assignments) is not None
+
+
+def minimize_counterexample(
+    counterexample: Counterexample,
+    spec: VictimSpec,
+    model: SchemeModel,
+    *,
+    bounds: Optional[CheckBounds] = None,
+    space: Optional[SecretSpace] = None,
+) -> Counterexample:
+    """Greedily NOP-replace instructions while the divergence survives.
+
+    One forward pass (slot order): each successful replacement can only
+    remove constraints, so later candidates are tried against the
+    already-reduced program.  Idempotent by construction.
+    """
+    check_bounds = bounds or CheckBounds()
+    instructions: List = list(spec.program)
+    nopped: List[int] = []
+    for slot, inst in enumerate(instructions):
+        if inst.opclass in _STRUCTURAL:
+            continue
+        candidate = list(instructions)
+        candidate[slot] = nop(name=f"min@{slot}")
+        try:
+            program = Program(
+                instructions=list(candidate),
+                labels=dict(spec.program.labels),
+                code_base=spec.program.code_base,
+                inst_size=spec.program.inst_size,
+            )
+        except ValueError:
+            continue  # replacement makes the program ill-formed
+        if _still_diverges(program, spec, model, check_bounds, space):
+            instructions = candidate
+            nopped.append(slot)
+    if not nopped:
+        return counterexample
+    final = Program(
+        instructions=list(instructions),
+        labels=dict(spec.program.labels),
+        code_base=spec.program.code_base,
+        inst_size=spec.program.inst_size,
+    )
+    return dc_replace(
+        counterexample,
+        minimized_listing=final.listing(),
+        nopped_slots=tuple(nopped),
+    )

@@ -1,0 +1,173 @@
+"""Per-scheme visibility models for the symbolic executor.
+
+A :class:`SchemeModel` is the abstract counterpart of one
+:class:`~repro.pipeline.scheme_api.SpeculationScheme`: just enough
+policy to decide which speculative events are attacker-visible, derived
+by *introspecting a live scheme instance* (its class, safety model and
+the ``protects_icache`` / ``hold_rs_until_safe`` / ``preempt_eus``
+flags the pipeline itself honours) rather than a hand-maintained table.
+The one thing introspection cannot see — what ``load_decision`` returns
+for a speculative hit vs. miss, because that is code — is captured by
+:class:`LoadPolicy`, chosen per scheme *class* and cross-checked
+against class-specific attributes (``value_predict``, wrapped base
+schemes, ...) so a new scheme cannot silently get a wrong model: an
+unknown class raises.
+
+Every name in :data:`repro.schemes.SCHEME_FACTORIES` must resolve; the
+test suite asserts the covering is total.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from repro.pipeline.scheme_api import SafetyModel, SpeculationScheme
+from repro.schemes.cleanupspec import CleanupSpec
+from repro.schemes.conditional import ConditionalSpeculation
+from repro.schemes.dom import DelayOnMiss
+from repro.schemes.fence import FenceDefense
+from repro.schemes.invisispec import InvisiSpec
+from repro.schemes.muontrap import MuonTrap
+from repro.schemes.priority import PriorityDefense
+from repro.schemes.registry import SCHEME_FACTORIES, make_scheme
+from repro.schemes.safespec import SafeSpec
+from repro.schemes.stt import STT
+from repro.schemes.unsafe import UnsafeBaseline
+
+
+class LoadPolicy(enum.Enum):
+    """How a scheme treats a *speculative* load, abstractly.
+
+    Mirrors the ``load_decision`` contracts: hit/miss distinguish L1-D
+    residence (warm lines plus anything the current window already
+    requested).
+    """
+
+    #: Hit and miss both access normally — fills and replacement
+    #: updates are attacker-visible (unsafe baseline, CleanupSpec
+    #: before rollback, STT for untainted addresses).
+    VISIBLE = "visible"
+    #: Data returns without visible cache-state change; misses still
+    #: occupy MSHRs (InvisiSpec/SafeSpec/MuonTrap shadow structures).
+    INVISIBLE = "invisible"
+    #: Invisible hit; a miss issues no request at all and stalls its
+    #: dependents until squash/safety (Delay-on-Miss, CondSpec).
+    DELAY_ON_MISS = "delay-on-miss"
+    #: Invisible hit; a miss returns a predicted value at hit latency
+    #: with no memory request (DoM's value-prediction mode).
+    PREDICT_ON_MISS = "predict-on-miss"
+    #: Nothing speculative issues at all (fence defense): the window
+    #: dispatches but executes nothing.
+    NO_ISSUE = "no-issue"
+
+
+@dataclass(frozen=True)
+class SchemeModel:
+    """Abstract visibility model of one speculation scheme."""
+
+    name: str
+    policy: LoadPolicy
+    safety: SafetyModel
+    #: Speculative I-fetches are invisible (scheme protects the I-cache).
+    protects_icache: bool
+    #: RS slots held until non-speculative: occupancy is operand-
+    #: independent, so RS pressure cannot carry secret (§5.4 rule 1).
+    hold_rs_until_safe: bool
+    #: Older instructions preempt non-pipelined EUs: speculative
+    #: occupancy cannot delay bound-to-retire work (§5.4 rule 2).
+    preempt_eus: bool
+    #: Speculative fills are rolled back at squash (CleanupSpec): the
+    #: access itself was visible, but nothing persists.
+    undo_fills: bool
+    #: STT-style gating: transmitters (loads/stores/branches and
+    #: operand-dependent-latency ops) with operands derived from a
+    #: speculative load's value may not execute.
+    taint_gated: bool
+    #: Where the model came from (scheme class), for reports.
+    derived_from: str
+
+    @property
+    def spec_miss_allocates_mshr(self) -> bool:
+        """Does a speculative miss occupy an L1-D MSHR?  DELAY and
+        PREDICT issue no request; NO_ISSUE never executes the load."""
+        return self.policy in (LoadPolicy.VISIBLE, LoadPolicy.INVISIBLE)
+
+
+def _policy_for(scheme: SpeculationScheme) -> LoadPolicy:
+    """The load policy of a scheme instance, by (possibly wrapped) class."""
+    if isinstance(scheme, PriorityDefense):
+        return _policy_for(scheme.base)
+    if isinstance(scheme, DelayOnMiss):
+        return (
+            LoadPolicy.PREDICT_ON_MISS
+            if scheme.value_predict
+            else LoadPolicy.DELAY_ON_MISS
+        )
+    if isinstance(scheme, (InvisiSpec, SafeSpec, MuonTrap)):
+        return LoadPolicy.INVISIBLE
+    if isinstance(scheme, ConditionalSpeculation):
+        return LoadPolicy.DELAY_ON_MISS
+    if isinstance(scheme, FenceDefense):
+        return LoadPolicy.NO_ISSUE
+    if isinstance(scheme, (CleanupSpec, STT, UnsafeBaseline)):
+        return LoadPolicy.VISIBLE
+    if type(scheme) is SpeculationScheme:
+        return LoadPolicy.VISIBLE  # the base class is the unsafe machine
+    raise ValueError(
+        f"no load policy known for scheme class "
+        f"{type(scheme).__name__!r} ({scheme.name!r}); teach "
+        "repro.symni.model about it before checking it"
+    )
+
+
+def model_from_scheme(scheme: SpeculationScheme) -> SchemeModel:
+    """Derive the abstract model from a live scheme instance."""
+    base = scheme.base if isinstance(scheme, PriorityDefense) else scheme
+    return SchemeModel(
+        name=scheme.name,
+        policy=_policy_for(scheme),
+        safety=scheme.safety,
+        protects_icache=scheme.protects_icache,
+        hold_rs_until_safe=scheme.hold_rs_until_safe,
+        preempt_eus=scheme.preempt_eus,
+        undo_fills=isinstance(base, CleanupSpec),
+        taint_gated=isinstance(base, STT),
+        derived_from=type(scheme).__name__,
+    )
+
+
+def model_for(name: str) -> SchemeModel:
+    """The abstract model for a registry scheme name."""
+    scheme = make_scheme(name)  # raises ValueError with known names
+    model = model_from_scheme(scheme)
+    # Registry names are what verdicts/reports key on; the instance
+    # name may differ cosmetically (e.g. "priority+dom-nontso").
+    if model.name != name:
+        model = SchemeModel(
+            name=name,
+            policy=model.policy,
+            safety=model.safety,
+            protects_icache=model.protects_icache,
+            hold_rs_until_safe=model.hold_rs_until_safe,
+            preempt_eus=model.preempt_eus,
+            undo_fills=model.undo_fills,
+            taint_gated=model.taint_gated,
+            derived_from=model.derived_from,
+        )
+    return model
+
+
+def all_models() -> Dict[str, SchemeModel]:
+    """One model per registry scheme; raises if any scheme is unknown
+    to the policy map (total covering is a test invariant)."""
+    return {name: model_for(name) for name in sorted(SCHEME_FACTORIES)}
+
+
+def resolve_model(scheme: Union[str, SchemeModel, SpeculationScheme]) -> SchemeModel:
+    if isinstance(scheme, SchemeModel):
+        return scheme
+    if isinstance(scheme, SpeculationScheme):
+        return model_from_scheme(scheme)
+    return model_for(scheme)

@@ -1,0 +1,197 @@
+"""The abstract observable lattice the noninterference check compares.
+
+Two runs of a victim are *indistinguishable to an attacker* exactly
+when their interference-visible footprints match.  This module defines
+that footprint: an ordered trace of :class:`Observation` records, one
+trace per secret assignment, compared pointwise.  The kinds mirror the
+channels of the paper (and of :mod:`repro.staticcheck.detectors`):
+
+``arch-access`` / ``arch-ifetch``
+    The committed program's own memory and instruction-fetch lines, in
+    program order.  Divergence here is an *architectural* leak (the
+    secret reaches committed addresses or control flow) — every scheme
+    leaks it, and no speculation defense claims otherwise.
+``spec-access``
+    A speculative data access a scheme lets change shared cache state
+    (``LoadDecision.VISIBLE``) — the classic Spectre transmitter.
+``spec-ifetch``
+    A speculative instruction-line fetch under a scheme that does not
+    protect the I-cache, stamped with its abstract fetch time (the
+    G-IRS §4.3 channel: RS back-pressure shifts or suppresses it).
+``port-busy``
+    Secret-dependent occupancy of a *contended, non-pipelined*
+    execution unit (GD-NPEU §3.2.1): the interval delays older
+    bound-to-retire work, so its start/duration are attacker-visible
+    through the timing of committed instructions.
+``mshr-exhaust``
+    The speculative miss fan-out reached the L1-D MSHR capacity while
+    an older bound-to-retire load was outstanding (GD-MSHR §3.2.2).
+``ctrl-diverge``
+    The *architectural* branch outcome itself depends on the secret.
+    Execution beyond this point is not comparable lane-to-lane; the
+    executor records it and stops.
+
+Times are **abstract ticks**, comparable only between lanes of one
+check — never against simulator cycles.  The comparison is exact: the
+abstraction already encodes "too small to matter dynamically" by not
+emitting sub-margin events (e.g. single-cycle occupancy of a pipelined
+port), rather than by fuzzily comparing times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+KIND_ARCH_ACCESS = "arch-access"
+KIND_ARCH_IFETCH = "arch-ifetch"
+KIND_SPEC_ACCESS = "spec-access"
+KIND_SPEC_IFETCH = "spec-ifetch"
+KIND_PORT_BUSY = "port-busy"
+KIND_MSHR_EXHAUST = "mshr-exhaust"
+KIND_CTRL_DIVERGE = "ctrl-diverge"
+
+OBSERVATION_KINDS = (
+    KIND_ARCH_ACCESS,
+    KIND_ARCH_IFETCH,
+    KIND_SPEC_ACCESS,
+    KIND_SPEC_IFETCH,
+    KIND_PORT_BUSY,
+    KIND_MSHR_EXHAUST,
+    KIND_CTRL_DIVERGE,
+)
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One attacker-visible event in a lane's abstract trace."""
+
+    kind: str
+    #: Abstract tick the event happens at (lane-comparable only).
+    time: int
+    #: Memory or instruction line address, when the kind has one.
+    line: Optional[int] = None
+    #: Execution port, for ``port-busy``.
+    port: Optional[int] = None
+    #: Occupancy duration in ticks, for ``port-busy``.
+    duration: int = 0
+    #: Free-form context (window entry, instruction name, ...).
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in OBSERVATION_KINDS:
+            raise ValueError(
+                f"unknown observation kind {self.kind!r}; "
+                f"expected one of {OBSERVATION_KINDS}"
+            )
+
+    def describe(self) -> str:
+        parts = [f"t={self.time}", self.kind]
+        if self.line is not None:
+            parts.append(f"line={self.line:#x}")
+        if self.port is not None:
+            parts.append(f"port={self.port}")
+        if self.duration:
+            parts.append(f"dur={self.duration}")
+        if self.detail:
+            parts.append(f"({self.detail})")
+        return " ".join(parts)
+
+
+#: One lane's full observable footprint, in emission order.
+ObservableTrace = Tuple[Observation, ...]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two lanes' footprints disagree.
+
+    ``lane0``/``lane1`` are the offending observations (``None`` when
+    one trace is a strict prefix of the other — a presence/absence
+    divergence).  ``assignment0``/``assignment1`` name the two secret
+    assignments that produced the disagreeing lanes: together with the
+    program they form a complete, concrete counterexample.
+    """
+
+    index: int
+    lane0: Optional[Observation]
+    lane1: Optional[Observation]
+    assignment0: Tuple[Tuple[str, int], ...]
+    assignment1: Tuple[Tuple[str, int], ...]
+
+    @property
+    def kind(self) -> str:
+        """Kind of the diverging observation (for reports/filters).
+
+        When the lanes disagree because one emitted *extra* speculative
+        events, positional comparison can pair a speculative event in
+        one lane with a later architectural event in the other; the
+        speculative kind is the informative one, so prefer it.
+        """
+        kinds = [
+            obs.kind for obs in (self.lane0, self.lane1) if obs is not None
+        ]
+        if not kinds:
+            return "absence"
+        for kind in kinds:
+            if kind not in (KIND_ARCH_ACCESS, KIND_ARCH_IFETCH):
+                return kind
+        return kinds[0]
+
+    def describe(self) -> str:
+        def fmt(obs: Optional[Observation]) -> str:
+            return obs.describe() if obs is not None else "<no event>"
+
+        def fmt_assign(assignment: Tuple[Tuple[str, int], ...]) -> str:
+            return ",".join(f"{k}={v}" for k, v in assignment)
+
+        return (
+            f"observable #{self.index} differs: "
+            f"[{fmt_assign(self.assignment0)}] {fmt(self.lane0)}  vs  "
+            f"[{fmt_assign(self.assignment1)}] {fmt(self.lane1)}"
+        )
+
+
+def first_divergence(
+    traces: Sequence[ObservableTrace],
+    assignments: Sequence[Tuple[Tuple[str, int], ...]],
+) -> Optional[Divergence]:
+    """Compare every pair of lanes; return the earliest divergence.
+
+    "Earliest" means the smallest trace index over all lane pairs, so
+    the counterexample pinpoints the first observable the attacker
+    could use.  Returns ``None`` when all lanes agree — the two-run
+    noninterference property holds for this execution.
+    """
+    if len(traces) != len(assignments):
+        raise ValueError("one assignment per trace required")
+    best: Optional[Divergence] = None
+    for i in range(len(traces)):
+        for j in range(i + 1, len(traces)):
+            div = _diverge_pair(
+                traces[i], traces[j], assignments[i], assignments[j]
+            )
+            if div is not None and (best is None or div.index < best.index):
+                best = div
+    return best
+
+
+def _diverge_pair(
+    t0: ObservableTrace,
+    t1: ObservableTrace,
+    a0: Tuple[Tuple[str, int], ...],
+    a1: Tuple[Tuple[str, int], ...],
+) -> Optional[Divergence]:
+    for idx in range(min(len(t0), len(t1))):
+        if t0[idx] != t1[idx]:
+            return Divergence(idx, t0[idx], t1[idx], a0, a1)
+    if len(t0) != len(t1):
+        idx = min(len(t0), len(t1))
+        return Divergence(
+            idx,
+            t0[idx] if idx < len(t0) else None,
+            t1[idx] if idx < len(t1) else None,
+            a0,
+            a1,
+        )
+    return None

@@ -1,0 +1,161 @@
+"""Ground a symbolic counterexample in cycle-level dynamic truth.
+
+A dirty symbolic verdict names two secret assignments whose abstract
+footprints diverge.  This module replays exactly that pair through the
+simulator (via :mod:`repro.runner.replay`) and asks whether the paper's
+Table-1 machinery would see it: an order flip of the monitored data
+lines, a first-access shift of at least the calibration ``MARGIN``, or
+a presence/absence difference — the same signal menu
+:mod:`repro.staticcheck.crossval` uses, recomputed here from picklable
+:class:`~repro.runner.spec.TrialSummary` records so the symbolic layer
+never needs a live simulator handle.
+
+A counterexample the simulator does *not* reproduce is not discarded:
+it comes back as ``reproduced=False`` with both outcomes attached, and
+the checker turns it into an explicit abstraction-gap record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.matrix import MARGIN
+from repro.core.victims import VictimSpec
+from repro.runner.replay import REPLAY_MAX_CYCLES, replay_pair
+from repro.runner.spec import TrialOutcome, TrialSummary
+from repro.staticcheck.crossval import Signal
+
+
+def _line_signals(
+    s0: TrialSummary,
+    s1: TrialSummary,
+    line: Optional[int],
+    side: str,
+    margin: int,
+) -> List[Signal]:
+    if line is None:
+        return []
+    t0, t1 = s0.first_access(line), s1.first_access(line)
+    if t0 is None and t1 is None:
+        return []
+    if (t0 is None) != (t1 is None):
+        return [
+            Signal(
+                "presence",
+                line,
+                side,
+                t0,
+                t1,
+                f"line {line:#x} accessed only in run "
+                f"{0 if t0 is not None else 1}",
+            )
+        ]
+    if t0 is not None and t1 is not None and abs(t0 - t1) >= margin:
+        return [
+            Signal(
+                "shift",
+                line,
+                side,
+                t0,
+                t1,
+                f"line {line:#x} first access moved {abs(t0 - t1)} "
+                f"cycle(s) (margin {margin})",
+            )
+        ]
+    return []
+
+
+def summary_signals(
+    spec: VictimSpec,
+    s0: TrialSummary,
+    s1: TrialSummary,
+    *,
+    margin: int = MARGIN,
+) -> List[Signal]:
+    """Every dynamic interference signal between two trial summaries,
+    over the victim's monitored data lines and target I-line."""
+    signals: List[Signal] = []
+    if spec.line_a is not None and spec.line_b is not None:
+        o0 = s0.order(spec.line_a, spec.line_b)
+        o1 = s1.order(spec.line_a, spec.line_b)
+        if o0 is not None and o1 is not None and o0 != o1:
+            signals.append(
+                Signal(
+                    "order-flip",
+                    spec.line_a,
+                    "data",
+                    s0.first_access(spec.line_a),
+                    s1.first_access(spec.line_a),
+                    f"order(A,B) flips: run0={o0} run1={o1}",
+                )
+            )
+    signals.extend(_line_signals(s0, s1, spec.line_a, "data", margin))
+    signals.extend(_line_signals(s0, s1, spec.line_b, "data", margin))
+    signals.extend(_line_signals(s0, s1, spec.target_iline, "inst", margin))
+    return signals
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """What the simulator said about one symbolic counterexample."""
+
+    victim: str
+    scheme: str
+    secrets: Tuple[int, int]
+    outcome0: TrialOutcome
+    outcome1: TrialOutcome
+    signals: Tuple[Signal, ...]
+
+    @property
+    def ran(self) -> bool:
+        """Both trials executed to completion."""
+        return self.outcome0.ok and self.outcome1.ok
+
+    @property
+    def reproduced(self) -> bool:
+        """The simulator exhibits a dynamic signal for this pair."""
+        return self.ran and bool(self.signals)
+
+    def describe(self) -> str:
+        if not self.ran:
+            failed = self.outcome0 if not self.outcome0.ok else self.outcome1
+            return f"replay failed: {failed.describe()}"
+        if not self.signals:
+            return "replay ran clean: no dynamic signal at this margin"
+        return "; ".join(s.detail for s in self.signals)
+
+
+def replay_counterexample(
+    spec: VictimSpec,
+    victim_name: str,
+    scheme: str,
+    secrets: Tuple[int, int],
+    *,
+    victim_kwargs: Optional[dict] = None,
+    margin: int = MARGIN,
+    max_cycles: int = REPLAY_MAX_CYCLES,
+) -> ReplayResult:
+    """Replay the counterexample's secret pair under ``scheme`` and
+    derive the dynamic signals from the two summaries."""
+    outcome0, outcome1 = replay_pair(
+        victim_name,
+        scheme,
+        secrets,
+        victim_kwargs=victim_kwargs,
+        max_cycles=max_cycles,
+    )
+    signals: List[Signal] = []
+    if outcome0.ok and outcome1.ok:
+        assert outcome0.summary is not None and outcome1.summary is not None
+        signals = summary_signals(
+            spec, outcome0.summary, outcome1.summary, margin=margin
+        )
+    return ReplayResult(
+        victim=victim_name,
+        scheme=scheme,
+        secrets=secrets,
+        outcome0=outcome0,
+        outcome1=outcome1,
+        signals=tuple(signals),
+    )

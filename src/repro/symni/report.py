@@ -1,0 +1,156 @@
+"""Aggregated noninterference reports: JSON-able and human-renderable.
+
+One :class:`NoninterferenceReport` holds the verdict matrix of a check
+run.  Its contract mirrors the acceptance bar of the checker itself:
+every dirty verdict carries a concrete counterexample, and every
+counterexample the simulator did not reproduce stays visible as an
+``abstraction-gap`` row — the report can summarize, it may never drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.symni.checker import (
+    STATUS_CLEAN,
+    STATUS_CONFIRMED,
+    STATUS_GAP,
+    STATUS_UNVERIFIED,
+    SchemeVerdict,
+)
+from repro.symni.observables import Observation
+
+
+def _observation_dict(obs: Optional[Observation]) -> Optional[Dict[str, object]]:
+    if obs is None:
+        return None
+    return {
+        "kind": obs.kind,
+        "time": obs.time,
+        "line": obs.line,
+        "port": obs.port,
+        "duration": obs.duration,
+        "detail": obs.detail,
+    }
+
+
+def verdict_dict(verdict: SchemeVerdict) -> Dict[str, object]:
+    """One verdict as plain JSON-able data."""
+    out: Dict[str, object] = {
+        "victim": verdict.victim,
+        "scheme": verdict.scheme,
+        "status": verdict.status,
+        "bounds": verdict.bounds.describe(),
+        "truncated": verdict.execution.truncated,
+        "windows_explored": verdict.execution.windows_explored,
+        "retired": verdict.execution.retired,
+        "notes": list(verdict.notes),
+    }
+    if verdict.divergence is not None:
+        div = verdict.divergence
+        out["divergence"] = {
+            "index": div.index,
+            "kind": div.kind,
+            "lane0": _observation_dict(div.lane0),
+            "lane1": _observation_dict(div.lane1),
+            "assignment0": [list(pair) for pair in div.assignment0],
+            "assignment1": [list(pair) for pair in div.assignment1],
+        }
+    if verdict.counterexample is not None:
+        ce = verdict.counterexample
+        out["counterexample"] = {
+            "secrets": list(ce.secrets),
+            "minimized": ce.minimized_listing is not None,
+            "nopped_slots": list(ce.nopped_slots),
+            "listing": ce.minimized_listing or ce.program_listing,
+        }
+    if verdict.replay is not None:
+        out["replay"] = {
+            "ran": verdict.replay.ran,
+            "reproduced": verdict.replay.reproduced,
+            "secrets": list(verdict.replay.secrets),
+            "signals": [
+                {
+                    "kind": s.kind,
+                    "line": s.line,
+                    "side": s.side,
+                    "t0": s.t_secret0,
+                    "t1": s.t_secret1,
+                    "detail": s.detail,
+                }
+                for s in verdict.replay.signals
+            ],
+        }
+    return out
+
+
+@dataclass(frozen=True)
+class NoninterferenceReport:
+    """The verdict matrix of one ``repro.symni`` run."""
+
+    verdicts: Tuple[SchemeVerdict, ...]
+
+    @classmethod
+    def from_verdicts(
+        cls, verdicts: Sequence[SchemeVerdict]
+    ) -> "NoninterferenceReport":
+        return cls(verdicts=tuple(verdicts))
+
+    def counts(self) -> Dict[str, int]:
+        counts = {
+            STATUS_CLEAN: 0,
+            STATUS_CONFIRMED: 0,
+            STATUS_UNVERIFIED: 0,
+            STATUS_GAP: 0,
+        }
+        for verdict in self.verdicts:
+            counts[verdict.status] += 1
+        return counts
+
+    @property
+    def gaps(self) -> Tuple[SchemeVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.status == STATUS_GAP)
+
+    @property
+    def any_leak(self) -> bool:
+        return any(v.leaks for v in self.verdicts)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "counts": self.counts(),
+            "verdicts": [verdict_dict(v) for v in self.verdicts],
+        }
+
+    def render(self, *, verbose: bool = False) -> str:
+        """Human-readable table plus detail for every dirty verdict."""
+        lines: List[str] = []
+        width_v = max((len(v.victim) for v in self.verdicts), default=6)
+        width_s = max((len(v.scheme) for v in self.verdicts), default=6)
+        for verdict in self.verdicts:
+            marker = {
+                STATUS_CLEAN: " ",
+                STATUS_CONFIRMED: "!",
+                STATUS_UNVERIFIED: "?",
+                STATUS_GAP: "~",
+            }[verdict.status]
+            lines.append(
+                f"{marker} {verdict.victim:<{width_v}}  "
+                f"{verdict.scheme:<{width_s}}  {verdict.status}"
+            )
+        counts = self.counts()
+        lines.append(
+            f"-- {counts[STATUS_CLEAN]} clean, "
+            f"{counts[STATUS_CONFIRMED]} confirmed leak(s), "
+            f"{counts[STATUS_UNVERIFIED]} unverified, "
+            f"{counts[STATUS_GAP]} abstraction gap(s)"
+        )
+        detail = [
+            v for v in self.verdicts if verbose or v.status == STATUS_GAP
+        ]
+        for verdict in detail:
+            if verdict.status == STATUS_CLEAN and not verbose:
+                continue
+            lines.append("")
+            lines.append(verdict.describe())
+        return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Exit-code contract of ``python -m repro.staticcheck``:
+0 ok / 1 gate / 2 usage / 3 analysis error, SIGPIPE quiet."""
+
+import repro.staticcheck.__main__ as cli
+
+
+def test_clean_run_exits_0(capsys):
+    assert cli.main(["gdnpeu"]) == 0
+    assert "gdnpeu" in capsys.readouterr().out
+
+
+def test_findings_gate_exits_1(capsys):
+    assert cli.main(["gdnpeu", "--fail-on-findings"]) == 1
+    assert "finding(s) reported" in capsys.readouterr().err
+
+
+def test_unknown_target_is_usage_error(capsys):
+    assert cli.main(["definitely-not-a-victim"]) == 2
+
+
+def test_bad_flag_is_usage_error(capsys):
+    assert cli.main(["--no-such-flag"]) == 2
+
+
+def test_analysis_crash_exits_3(tmp_path, capsys):
+    bad = tmp_path / "explodes.py"
+    bad.write_text("raise RuntimeError('boom at import time')\n")
+    assert cli.main([str(bad)]) == 3
+    assert "analysis failed" in capsys.readouterr().err
+
+
+def test_missing_required_family_exits_1(capsys):
+    # gdnpeu carries no G-IRS gadget; requiring one must gate.
+    assert cli.main(["gdnpeu", "--require-family", "girs"]) == 1
+
+
+def test_broken_pipe_exits_0_quietly(monkeypatch):
+    """`... | head` closing stdout is a success, not a traceback."""
+
+    def raise_pipe(argv=None):
+        raise BrokenPipeError()
+
+    dups = []
+    monkeypatch.setattr(cli, "run", raise_pipe)
+    monkeypatch.setattr(cli.os, "open", lambda *a, **k: 99)
+    monkeypatch.setattr(cli.os, "dup2", lambda *a: dups.append(a))
+    assert cli.main([]) == 0
+    # stdout was redirected to devnull so interpreter shutdown cannot
+    # re-raise while flushing.
+    assert dups

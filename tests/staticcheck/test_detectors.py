@@ -135,9 +135,7 @@ class TestCLI:
         assert main(["gdnpeu", "--fail-on-findings"]) == 1
 
     def test_unknown_target_exits_2(self):
-        with pytest.raises(SystemExit) as exc:
-            main(["no-such-victim"])
-        assert exc.value.code == 2
+        assert main(["no-such-victim"]) == 2
 
     def test_file_target_with_program(self, tmp_path, capsys):
         target = tmp_path / "demo.py"
@@ -161,6 +159,4 @@ class TestCLI:
     def test_file_target_without_contract_exits_2(self, tmp_path):
         target = tmp_path / "empty.py"
         target.write_text("x = 1\n")
-        with pytest.raises(SystemExit) as exc:
-            main([str(target)])
-        assert exc.value.code == 2
+        assert main([str(target)]) == 2

@@ -1,0 +1,63 @@
+"""Cross-validation of the forward-interference detector specifically.
+
+The other detectors have family-matched confirmation rules (data-side
+for GD-NPEU/GD-MSHR, instruction-side for G-IRS); forward interference
+accepts *any* dynamic witness.  These tests pin that contract and the
+detector's evidence shape end to end against the simulator.
+"""
+
+import pytest
+
+from repro.core.victims import victim_by_name
+from repro.staticcheck import (
+    FAMILY_FORWARD,
+    analyze_victim,
+    cross_validate,
+    dynamic_signals,
+)
+from repro.staticcheck.crossval import _finding_confirmed
+
+
+def _forward_findings(name):
+    report = analyze_victim(victim_by_name(name))
+    return [f for f in report.findings if f.family == FAMILY_FORWARD], report
+
+
+@pytest.mark.parametrize("name", ["gdnpeu", "gdmshr", "girs"])
+def test_builtins_carry_forward_findings(name):
+    findings, _ = _forward_findings(name)
+    assert findings, f"{name}: no forward-interference finding"
+    for finding in findings:
+        # The detector's evidence names the contended ports and the
+        # (older, younger) pairs the claim is about.
+        evidence = finding.evidence_dict()
+        assert evidence.get("ports")
+        assert evidence.get("pairs")
+        assert evidence.get("pair_count", 0) >= len(evidence["pairs"])
+
+
+@pytest.mark.parametrize("name", ["gdnpeu", "girs"])
+def test_forward_findings_confirm_dynamically(name):
+    victim = victim_by_name(name)
+    findings, report = _forward_findings(name)
+    assert findings
+    verdict = cross_validate(victim, report)
+    for finding in verdict.findings:
+        if finding.family == FAMILY_FORWARD:
+            assert finding.confirmed, finding.message
+
+
+def test_forward_accepts_any_signal_side():
+    """Forward interference is confirmed by data- or inst-side signals;
+    G-IRS only by inst-side.  girs produces inst-side-only signals, so
+    it separates the two rules."""
+    victim = victim_by_name("girs")
+    signals = dynamic_signals(victim)
+    assert signals and all(s.side == "inst" for s in signals)
+    findings, _ = _forward_findings("girs")
+    assert _finding_confirmed(findings[0], signals)
+
+
+def test_forward_unconfirmed_without_signals():
+    findings, _ = _forward_findings("gdnpeu")
+    assert not _finding_confirmed(findings[0], [])

@@ -1,0 +1,80 @@
+"""Property tests for the sweep pre-filter (hypothesis).
+
+The filter's one-sided contract, stated as properties over arbitrary
+spec lists built from the victim/scheme registries:
+
+* it *partitions* — every spec lands in exactly one of flagged/clean;
+* it never drops a spec whose victim demonstrably leaks (the built-in
+  gadget victims all have confirmed dynamic leaks — see
+  tests/staticcheck/test_crossval.py — so none of their specs may be
+  answered "clean" without simulation);
+* it is idempotent — re-filtering either partition changes nothing.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.victims import VICTIM_FACTORIES
+from repro.runner.spec import TrialSpec, trial_seed
+from repro.schemes.registry import SCHEME_FACTORIES
+from repro.staticcheck.prefilter import prefilter_specs
+
+#: Victims whose dynamic leak is confirmed by the cross-validation
+#: suite; the pre-filter must always forward their specs to simulation.
+LEAKY_VICTIMS = sorted(VICTIM_FACTORIES)
+
+
+def _spec(victim: str, scheme: str, secret: int) -> TrialSpec:
+    return TrialSpec(
+        victim=victim,
+        scheme=scheme,
+        secret=secret,
+        seed=trial_seed(victim, scheme, secret),
+    )
+
+
+specs_strategy = st.lists(
+    st.builds(
+        _spec,
+        st.sampled_from(sorted(VICTIM_FACTORIES)),
+        st.sampled_from(sorted(SCHEME_FACTORIES)),
+        st.integers(min_value=0, max_value=1),
+    ),
+    max_size=12,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(specs=specs_strategy)
+def test_prefilter_partitions(specs):
+    result = prefilter_specs(specs)
+    assert len(result.flagged) + len(result.clean) == len(specs)
+    assert sorted(
+        s.digest() for s in result.flagged + result.clean
+    ) == sorted(s.digest() for s in specs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(specs=specs_strategy)
+def test_prefilter_never_drops_leaky_victims(specs):
+    result = prefilter_specs(specs)
+    clean_victims = {s.victim for s in result.clean}
+    assert not clean_victims & set(LEAKY_VICTIMS), (
+        "pre-filter skipped simulation for a victim with a confirmed "
+        f"dynamic leak: {sorted(clean_victims & set(LEAKY_VICTIMS))}"
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(specs=specs_strategy)
+def test_prefilter_is_idempotent(specs):
+    once = prefilter_specs(specs)
+    again_flagged = prefilter_specs(once.flagged)
+    again_clean = prefilter_specs(once.clean)
+    assert [s.digest() for s in again_flagged.flagged] == [
+        s.digest() for s in once.flagged
+    ]
+    assert not again_flagged.clean
+    assert [s.digest() for s in again_clean.clean] == [
+        s.digest() for s in once.clean
+    ]
+    assert not again_clean.flagged

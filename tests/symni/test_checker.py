@@ -1,0 +1,92 @@
+"""Checker verdicts and the counterexample minimizer."""
+
+import pytest
+
+from repro.core.victims import victim_by_name
+from repro.symni.checker import (
+    STATUS_CLEAN,
+    STATUS_CONFIRMED,
+    STATUS_UNVERIFIED,
+    check_victim,
+)
+from repro.symni.counterexample import minimize_counterexample
+from repro.symni.model import model_for
+from repro.symni.report import NoninterferenceReport, verdict_dict
+
+
+def test_clean_verdict_is_a_bounded_proof():
+    verdict = check_victim("gdnpeu", "fence-spectre")
+    assert verdict.status == STATUS_CLEAN
+    assert verdict.clean and not verdict.leaks
+    assert verdict.divergence is None
+    assert verdict.replay is None
+    assert "up to" in verdict.describe()
+
+
+def test_no_replay_yields_unverified():
+    verdict = check_victim("gdnpeu", "unsafe", replay=False)
+    assert verdict.status == STATUS_UNVERIFIED
+    assert verdict.leaks
+    assert verdict.counterexample is not None
+    assert verdict.replay is None
+
+
+def test_confirmed_leak_carries_dynamic_signals():
+    verdict = check_victim("gdnpeu", "dom-nontso")
+    assert verdict.status == STATUS_CONFIRMED
+    assert verdict.replay is not None
+    assert verdict.replay.reproduced
+    assert verdict.replay.signals
+    assert verdict.counterexample is not None
+    assert set(verdict.counterexample.secrets) == {0, 1}
+
+
+def test_verdict_dict_is_json_shaped():
+    import json
+
+    verdict = check_victim("gdnpeu", "unsafe", replay=False)
+    payload = verdict_dict(verdict)
+    json.dumps(payload)  # must be serializable as-is
+    assert payload["status"] == STATUS_UNVERIFIED
+    assert payload["divergence"]["kind"]  # type: ignore[index]
+
+
+def test_report_counts_and_render():
+    verdicts = [
+        check_victim("gdnpeu", "fence-spectre"),
+        check_victim("gdnpeu", "unsafe", replay=False),
+    ]
+    report = NoninterferenceReport.from_verdicts(verdicts)
+    counts = report.counts()
+    assert counts[STATUS_CLEAN] == 1
+    assert counts[STATUS_UNVERIFIED] == 1
+    rendered = report.render()
+    assert "fence-spectre" in rendered and "unsafe" in rendered
+
+
+# ----------------------------------------------------------------------
+# minimizer
+# ----------------------------------------------------------------------
+def test_minimizer_preserves_divergence_and_shrinks():
+    verdict = check_victim("gdnpeu", "unsafe", replay=False, minimize=True)
+    ce = verdict.counterexample
+    assert ce is not None
+    assert ce.minimized_listing is not None
+    assert ce.nopped_slots  # something was provably irrelevant
+    # Replaced slots are visible as NOPs in the minimized listing.
+    assert "min@" in ce.minimized_listing
+
+
+def test_minimizer_is_idempotent():
+    spec = victim_by_name("gdnpeu")
+    model = model_for("unsafe")
+    verdict = check_victim("gdnpeu", "unsafe", replay=False, minimize=True)
+    ce = verdict.counterexample
+    assert ce is not None
+    again = minimize_counterexample(ce, spec, model)
+    assert again.nopped_slots == ce.nopped_slots
+
+
+def test_unknown_victim_raises():
+    with pytest.raises(ValueError):
+        check_victim("no-such-victim", "unsafe")

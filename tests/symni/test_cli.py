@@ -1,0 +1,54 @@
+"""The ``python -m repro.symni`` exit-code contract, in process."""
+
+import json
+
+from repro.symni.__main__ import main
+
+
+def test_clean_expectation_passes(capsys):
+    code = main(["gdnpeu", "--scheme", "fence-spectre", "--expect", "clean"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_expectation_violation_exits_1(capsys):
+    code = main(
+        ["gdnpeu", "--scheme", "unsafe", "--no-replay", "--expect", "clean"]
+    )
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "expected 'clean'" in err
+
+
+def test_fail_on_leak_gates(capsys):
+    code = main(
+        ["gdnpeu", "--scheme", "unsafe", "--no-replay", "--fail-on-leak"]
+    )
+    assert code == 1
+
+
+def test_unknown_victim_is_usage_error(capsys):
+    assert main(["definitely-not-a-victim"]) == 2
+
+
+def test_unknown_scheme_is_usage_error(capsys):
+    assert main(["gdnpeu", "--scheme", "definitely-not-a-scheme"]) == 2
+
+
+def test_bad_flag_is_usage_error(capsys):
+    assert main(["--no-such-flag"]) == 2
+
+
+def test_nonpositive_bound_is_usage_error(capsys):
+    assert main(["gdnpeu", "--scheme", "unsafe", "--bound", "0"]) == 2
+
+
+def test_json_output_is_parseable(capsys):
+    code = main(
+        ["gdnpeu", "--scheme", "fence-spectre", "--json", "--no-replay"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"]["clean"] == 1
+    assert payload["verdicts"][0]["victim"] == "gdnpeu"

@@ -1,0 +1,83 @@
+"""Scheme models: the covering over the registry must be total and right."""
+
+import pytest
+
+from repro.schemes.registry import SCHEME_FACTORIES, make_scheme
+from repro.symni.model import (
+    LoadPolicy,
+    all_models,
+    model_for,
+    model_from_scheme,
+    resolve_model,
+)
+
+
+def test_every_registry_scheme_has_a_model():
+    models = all_models()
+    assert set(models) == set(SCHEME_FACTORIES)
+    for name, model in models.items():
+        assert model.name == name
+
+
+EXPECTED_POLICIES = {
+    "unsafe": LoadPolicy.VISIBLE,
+    "cleanupspec": LoadPolicy.VISIBLE,
+    "stt": LoadPolicy.VISIBLE,
+    "stt-futuristic": LoadPolicy.VISIBLE,
+    "invisispec-spectre": LoadPolicy.INVISIBLE,
+    "invisispec-futuristic": LoadPolicy.INVISIBLE,
+    "safespec-wfb": LoadPolicy.INVISIBLE,
+    "safespec-wfc": LoadPolicy.INVISIBLE,
+    "muontrap": LoadPolicy.INVISIBLE,
+    "dom-nontso": LoadPolicy.DELAY_ON_MISS,
+    "dom-tso": LoadPolicy.DELAY_ON_MISS,
+    "condspec": LoadPolicy.DELAY_ON_MISS,
+    "dom-nontso-vp": LoadPolicy.PREDICT_ON_MISS,
+    "fence-spectre": LoadPolicy.NO_ISSUE,
+    "fence-futuristic": LoadPolicy.NO_ISSUE,
+    "priority": LoadPolicy.DELAY_ON_MISS,  # delegates to its DoM base
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCHEME_FACTORIES))
+def test_load_policy_matches_scheme_contract(name):
+    assert model_for(name).policy is EXPECTED_POLICIES[name]
+
+
+def test_priority_model_keeps_interference_shields():
+    model = model_for("priority")
+    assert model.hold_rs_until_safe
+    assert model.preempt_eus
+
+
+def test_stt_is_taint_gated_and_visible():
+    model = model_for("stt")
+    assert model.taint_gated
+    assert model.policy is LoadPolicy.VISIBLE
+
+
+def test_cleanupspec_undoes_fills():
+    assert model_for("cleanupspec").undo_fills
+    assert not model_for("unsafe").undo_fills
+
+
+def test_mshr_allocation_follows_policy():
+    assert model_for("invisispec-spectre").spec_miss_allocates_mshr
+    assert model_for("unsafe").spec_miss_allocates_mshr
+    assert not model_for("dom-nontso").spec_miss_allocates_mshr
+    assert not model_for("fence-spectre").spec_miss_allocates_mshr
+
+
+def test_unknown_scheme_class_raises():
+    class Mystery:
+        name = "mystery"
+
+    with pytest.raises((ValueError, TypeError)):
+        resolve_model(Mystery())  # type: ignore[arg-type]
+
+
+def test_model_from_live_instance_matches_registry():
+    scheme = make_scheme("dom-nontso")
+    live = model_from_scheme(scheme)
+    assert live.policy is LoadPolicy.DELAY_ON_MISS
+    assert resolve_model(scheme).policy is live.policy

@@ -1,0 +1,67 @@
+"""The symbolic value layer: lanes, lifting, pointwise application."""
+
+import pytest
+
+from repro.isa.symbolic import SecretSpace, SymVal, lift, sym_apply
+
+
+def test_bit_space_has_two_assignments():
+    space = SecretSpace.bit()
+    assert space.size == 2
+    assert space.assignments() == ((("secret", 0),), (("secret", 1),))
+
+
+def test_of_builds_product_space():
+    space = SecretSpace.of(a=(0, 1), b=(0, 1, 2))
+    assert space.size == 6
+    names = [dict(a) for a in space.assignments()]
+    assert {"a": 1, "b": 2} in names
+
+
+def test_domain_must_distinguish():
+    with pytest.raises(ValueError):
+        SecretSpace(variables=(("s", (7,)),))
+
+
+def test_lift_is_uniform_and_concrete():
+    space = SecretSpace.bit()
+    val = lift(space, 42)
+    assert val.is_uniform
+    assert val.concrete() == 42
+
+
+def test_secret_is_not_uniform():
+    space = SecretSpace.bit()
+    sec = space.secret("secret")
+    assert not sec.is_uniform
+    with pytest.raises(ValueError):
+        sec.concrete()
+    assert sec.distinguishing_lanes() == (0, 1)
+
+
+def test_sym_apply_is_pointwise():
+    space = SecretSpace.bit()
+    sec = space.secret("secret")
+    shifted = sym_apply(space, lambda s: s * 64 + 3, sec)
+    assert shifted.values == (3, 67)
+
+
+def test_operators_mix_symvals_and_ints():
+    space = SecretSpace.bit()
+    sec = space.secret("secret")
+    val = (sec * 2 + 1) ^ 1
+    assert isinstance(val, SymVal)
+    assert val.values == (0, 2)
+
+
+def test_sym_eq_compares_per_lane():
+    space = SecretSpace.bit()
+    sec = space.secret("secret")
+    eq = sec.sym_eq(1)
+    assert eq.values == (0, 1)
+
+
+def test_lane_projection():
+    space = SecretSpace.bit()
+    sec = space.secret("secret")
+    assert [sec.lane(i) for i in range(space.size)] == [0, 1]
