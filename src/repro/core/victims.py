@@ -721,6 +721,19 @@ def girs_victim(
 #: of lambdas and is therefore unpicklable — parallel sweep workers
 #: rebuild it from ``(name, kwargs)`` on their side of the process
 #: boundary instead.
+def _forward_factory(name: str):
+    """Lazy indirection for the forward family: ``repro.workloads.forward``
+    imports this module for the shared address constants, so its factories
+    are resolved at call time rather than import time."""
+
+    def build(**kwargs) -> VictimSpec:
+        from repro.workloads.forward import FORWARD_VICTIM_FACTORIES
+
+        return FORWARD_VICTIM_FACTORIES[name](**kwargs)
+
+    return build
+
+
 VICTIM_FACTORIES = {
     "gdnpeu": gdnpeu_victim,
     "gdmshr": gdmshr_victim,
@@ -729,6 +742,9 @@ VICTIM_FACTORIES = {
     "gdnpeu-architectural": gdnpeu_architectural_victim,
     "gdnpeu-store": gdnpeu_store_victim,
     "gdnpeu-occupancy": gdnpeu_occupancy_victim,
+    "fwd-eu": _forward_factory("fwd-eu"),
+    "fwd-mshr": _forward_factory("fwd-mshr"),
+    "fwd-rs": _forward_factory("fwd-rs"),
 }
 
 

@@ -143,21 +143,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--symni",
         action="store_true",
         help=(
-            "reconcile the bounded symbolic noninterference verdict "
-            "(repro.symni) against the simulator's dynamic signals for "
-            "every victim target under --scheme; exit 1 on disagreement"
+            "render the three-way reconciliation table — static "
+            "detector x bounded symbolic verdict (repro.symni) x "
+            "dynamic leak signal — for every victim target under "
+            "--scheme; exit 1 on disagreement"
+        ),
+    )
+    parser.add_argument(
+        "--fail-on-gap",
+        action="store_true",
+        help=(
+            "with --symni: replay every symbolic counterexample through "
+            "the simulator and exit 1 if any pair records an "
+            "abstraction-gap status (counterexample the simulator does "
+            "not reproduce), in addition to the disagreement gate"
         ),
     )
     return parser
 
 
 def _run_symni(args: argparse.Namespace, targets: List[str]) -> int:
-    """The ``--symni`` mode: one reconciliation table, not a report."""
+    """The ``--symni`` mode: one three-way table, not a report."""
     # Function-level: repro.symni layers above this package.
     from repro.staticcheck.crossval import (
         reconcile_verdicts,
         render_reconciliation,
     )
+    from repro.symni.checker import STATUS_GAP
 
     victims = [t for t in targets if t in VICTIM_FACTORIES]
     unknown = [t for t in targets if t not in VICTIM_FACTORIES]
@@ -166,7 +178,9 @@ def _run_symni(args: argparse.Namespace, targets: List[str]) -> int:
             "--symni reconciles built-in victims only; not victim "
             f"names: {', '.join(unknown)}"
         )
-    rows = reconcile_verdicts(victims, schemes=[args.scheme])
+    rows = reconcile_verdicts(
+        victims, schemes=[args.scheme], replay=args.fail_on_gap
+    )
     if args.json:
         print(
             json.dumps(
@@ -174,6 +188,7 @@ def _run_symni(args: argparse.Namespace, targets: List[str]) -> int:
                     {
                         "victim": r.victim,
                         "scheme": r.scheme,
+                        "static_families": list(r.static_families),
                         "symbolic_status": r.symbolic_status,
                         "symbolic_kind": r.symbolic_kind,
                         "dynamic_kinds": list(r.dynamic_kinds),
@@ -187,13 +202,23 @@ def _run_symni(args: argparse.Namespace, targets: List[str]) -> int:
         )
     else:
         print(render_reconciliation(rows))
+    status = 0
     if any(not r.agrees for r in rows):
         print(
-            "error: symbolic and dynamic verdicts disagree (see table)",
+            "error: static/symbolic/dynamic verdicts disagree (see table)",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        status = 1
+    if args.fail_on_gap:
+        gaps = [r for r in rows if r.symbolic_status == STATUS_GAP]
+        if gaps:
+            pairs = ", ".join(f"{r.victim}/{r.scheme}" for r in gaps)
+            print(
+                f"error: abstraction gap(s) in: {pairs}",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
 
 
 def run(argv: Optional[Sequence[str]] = None) -> int:

@@ -15,6 +15,12 @@ signals* the paper's Table 1 machinery uses (:mod:`repro.core.matrix`):
 A finding is *confirmed* when a signal of the right kind exists for its
 victim: data-line signals for GD-NPEU/GD-MSHR, instruction-line signals
 for G-IRS, and any signal for forward interference.
+
+:func:`reconcile_verdicts` widens this into the repo's three-way
+scoreboard — static detector × bounded symbolic verdict
+(:mod:`repro.symni`) × dynamic leak signal — one row per
+(victim, scheme), with every disagreement categorized rather than
+dropped.
 """
 
 from __future__ import annotations
@@ -138,33 +144,55 @@ def dynamic_signals(
     return signals
 
 
-def _finding_confirmed(finding: Finding, signals: List[Signal]) -> bool:
+def _finding_confirmed(
+    finding: Finding, signals: List[Signal], spec: VictimSpec
+) -> bool:
     if finding.family == FAMILY_GIRS:
-        return any(s.side == "inst" for s in signals)
+        if spec.target_iline is not None:
+            return any(s.side == "inst" for s in signals)
+        # RS pressure without a monitored I-line (the forward family's
+        # fwd-rs): the freeze's witness is data-side timing of the
+        # older bound-to-retire loads.
+        return bool(signals)
     if finding.family in (FAMILY_GDNPEU, FAMILY_GDMSHR):
         return any(s.side == "data" for s in signals)
     return bool(signals)  # forward interference: any witness
 
 
 # ----------------------------------------------------------------------
-# symbolic <-> dynamic reconciliation (the --symni mode)
+# static <-> symbolic <-> dynamic reconciliation (the --symni mode)
 # ----------------------------------------------------------------------
 AGREE_LEAK = "agree-leak"
 AGREE_CLEAN = "agree-clean"
 SYMBOLIC_ONLY = "symbolic-only"
 DYNAMIC_ONLY = "dynamic-only"
+STATIC_MISS = "static-miss"
 
 
 @dataclass(frozen=True)
 class ReconcileRow:
-    """One (victim, scheme) line of the symbolic/dynamic reconciliation.
+    """One (victim, scheme) line of the three-way reconciliation:
+    static detector × bounded symbolic verdict × dynamic leak signal.
 
-    ``agreement`` is one of :data:`AGREE_LEAK`, :data:`AGREE_CLEAN`,
+    The static column (``static_families``) is *scheme-independent* —
+    the detectors classify the program, not the defense — so the
+    three-way agreement logic is asymmetric by design:
+
+    * a leak (symbolic + dynamic) must be statically flagged, else the
+      detector has a false negative (:data:`STATIC_MISS`);
+    * a static finding on a pair that is clean both symbolically and
+      dynamically is **not** a disagreement — it means the defense
+      neutralizes a real gadget (that is the defense working, and
+      Table 1's whole point).
+
+    ``agreement`` is one of :data:`AGREE_LEAK` (all three concur),
+    :data:`AGREE_CLEAN` (symbolic and dynamic both quiet),
     :data:`SYMBOLIC_ONLY` (the symbolic checker diverges but the
-    simulator shows no signal — an abstraction gap) and
+    simulator shows no signal — an abstraction gap),
     :data:`DYNAMIC_ONLY` (the simulator leaks but the bounded symbolic
-    check stayed clean — a model blind spot).  Disagreement rows are the
-    product: they are reported explicitly, never filtered.
+    check stayed clean — a model blind spot) and :data:`STATIC_MISS`.
+    Disagreement rows are the product: reported explicitly, never
+    filtered.
     """
 
     victim: str
@@ -174,10 +202,15 @@ class ReconcileRow:
     dynamic_kinds: Tuple[str, ...]
     agreement: str
     detail: str
+    static_families: Tuple[str, ...] = ()
 
     @property
     def agrees(self) -> bool:
         return self.agreement in (AGREE_LEAK, AGREE_CLEAN)
+
+    @property
+    def static_flagged(self) -> bool:
+        return bool(self.static_families)
 
 
 def reconcile_verdicts(
@@ -186,18 +219,25 @@ def reconcile_verdicts(
     *,
     margin: int = MARGIN,
     max_cycles: int = 40_000,
+    replay: bool = False,
 ) -> List[ReconcileRow]:
-    """One reconciliation row per (victim, scheme): the bounded symbolic
-    verdict against the simulator's dynamic signals, in one table.
+    """One reconciliation row per (victim, scheme): static families,
+    the bounded symbolic verdict and the simulator's dynamic signals,
+    in one three-way table.
 
-    The symbolic check runs with replay disabled — this function *is*
-    the replay, and attaching the dynamic signals it computes keeps the
-    whole comparison at one simulation pair per row.
+    By default the symbolic check runs with replay disabled — this
+    function *is* the replay, and attaching the dynamic signals it
+    computes keeps the whole comparison at one simulation pair per
+    row.  ``replay=True`` additionally replays each symbolic
+    counterexample through the simulator, upgrading the symbolic
+    column to confirmed/abstraction-gap statuses (the ``--fail-on-gap``
+    gate wants exactly that distinction).
     """
     # Function-level import: repro.symni sits above this package, and a
     # module-level import would be circular through our __init__.
     from repro.core.victims import VICTIM_FACTORIES, victim_by_name
     from repro.schemes.registry import SCHEME_FACTORIES
+    from repro.staticcheck.analyzer import analyze_victim
     from repro.symni.checker import STATUS_CLEAN, check_victim
 
     victim_names = list(victims) if victims else sorted(VICTIM_FACTORIES)
@@ -205,14 +245,23 @@ def reconcile_verdicts(
     rows: List[ReconcileRow] = []
     for victim in victim_names:
         spec = victim_by_name(victim)
+        static_families = tuple(
+            sorted({f.family for f in analyze_victim(spec).findings})
+        )
         for scheme in scheme_names:
-            verdict = check_victim(victim, scheme, replay=False)
+            verdict = check_victim(victim, scheme, replay=replay)
             signals = dynamic_signals(
                 spec, scheme, margin=margin, max_cycles=max_cycles
             )
             symbolic_leak = verdict.status != STATUS_CLEAN
             dynamic_leak = bool(signals)
-            if symbolic_leak and dynamic_leak:
+            if symbolic_leak and dynamic_leak and not static_families:
+                agreement = STATIC_MISS
+                detail = (
+                    "static false negative: leak confirmed "
+                    "symbolically and dynamically but no detector fired"
+                )
+            elif symbolic_leak and dynamic_leak:
                 agreement = AGREE_LEAK
                 detail = signals[0].detail
             elif symbolic_leak:
@@ -245,23 +294,25 @@ def reconcile_verdicts(
                     ),
                     agreement=agreement,
                     detail=detail,
+                    static_families=static_families,
                 )
             )
     return rows
 
 
 def render_reconciliation(rows: List[ReconcileRow]) -> str:
-    """The one-table human rendering of a reconciliation run."""
+    """The one-table human rendering of a three-way reconciliation."""
     width_v = max((len(r.victim) for r in rows), default=6)
     width_s = max((len(r.scheme) for r in rows), default=6)
     lines = []
     for row in rows:
         marker = " " if row.agrees else "X"
+        static = ",".join(row.static_families) or "-"
         sym = row.symbolic_kind or "-"
         dyn = ",".join(row.dynamic_kinds) or "-"
         lines.append(
             f"{marker} {row.victim:<{width_v}}  {row.scheme:<{width_s}}  "
-            f"{row.agreement:<13}  sym={sym}  dyn={dyn}"
+            f"{row.agreement:<13}  static={static}  sym={sym}  dyn={dyn}"
         )
         if not row.agrees and row.detail:
             lines.append(f"    {row.detail}")
@@ -288,7 +339,7 @@ def cross_validate(
         else []
     )
     confirmed = [
-        f.with_confirmation(_finding_confirmed(f, signals))
+        f.with_confirmation(_finding_confirmed(f, signals, spec))
         for f in report.findings
     ]
     report.findings = confirmed

@@ -27,7 +27,15 @@ detectors use, plus the scheme's :class:`~repro.symni.model.SchemeModel`:
   preempts EUs for older work;
 * visible loads emit ``spec-access``; unprotected fetches of cold
   instruction lines emit ``spec-ifetch`` with their abstract fetch
-  tick.
+  tick;
+* every younger-window resource emission is *attributed forward*: the
+  :class:`OlderContext` of the branch records which older, bound-to-
+  retire slots are plausibly still in flight, ``port-busy`` and
+  ``mshr-exhaust`` carry the affected slots in ``older_slots``, and
+  each ``port-busy`` is twinned with a ``fwd-preempt`` observation —
+  the forward-interference reading ("It's a Trap!", Aimoniotis et al.,
+  2021) of the same occupancy, naming the speculation-invariant
+  instructions whose timing it perturbs.
 
 Everything is bounded (:class:`CheckBounds`); hitting a bound sets
 ``truncated`` so a clean verdict can honestly say "up to the bound".
@@ -36,7 +44,7 @@ Everything is bounded (:class:`CheckBounds`); hitting a bound sets
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.victims import ATTACK_HIERARCHY, VictimSpec
 from repro.isa.instructions import Instruction, OpClass
@@ -50,6 +58,7 @@ from repro.symni.observables import (
     KIND_ARCH_ACCESS,
     KIND_ARCH_IFETCH,
     KIND_CTRL_DIVERGE,
+    KIND_FWD_PREEMPT,
     KIND_MSHR_EXHAUST,
     KIND_PORT_BUSY,
     KIND_SPEC_ACCESS,
@@ -81,6 +90,34 @@ class CheckBounds:
             f"arch<={self.max_arch_steps} window<={self.max_window_instrs} "
             f"windows<={self.max_windows}"
         )
+
+
+@dataclass(frozen=True)
+class OlderContext:
+    """The bound-to-retire instructions older than one branch — the
+    forward-interference *victims* a mis-speculated window can perturb.
+
+    ``contended_ports`` are the non-pipelined ports an older plausibly-
+    pending instruction occupies (the classic GD-NPEU precondition);
+    ``pending_by_port`` maps **every** port to the older plausibly-
+    pending slots on it (forward attribution for ``older_slots``);
+    ``load_slots`` are all older load slots (the demand misses an MSHR
+    exhaust delays).
+    """
+
+    contended_ports: FrozenSet[int]
+    pending_by_port: Tuple[Tuple[int, Tuple[int, ...]], ...]
+    load_slots: Tuple[int, ...]
+
+    @property
+    def older_load_count(self) -> int:
+        return len(self.load_slots)
+
+    def pending_on(self, port: int) -> Tuple[int, ...]:
+        for p, slots in self.pending_by_port:
+            if p == port:
+                return slots
+        return ()
 
 
 @dataclass
@@ -158,7 +195,7 @@ class SymniExecutor:
         }
         self._init_warm_inst = warm_inst
         self._init_warm_data = warm_data
-        self._older_context_cache: Dict[int, Tuple[Set[int], int]] = {}
+        self._older_context_cache: Dict[int, OlderContext] = {}
 
     @classmethod
     def for_victim(
@@ -385,23 +422,35 @@ class SymniExecutor:
         assert inst.compute is not None
         return sym_apply(space, inst.compute, *vals, expr=inst.name or "addr")
 
-    def _older_context(self, branch_slot: int) -> Tuple[Set[int], int]:
-        """(contended non-pipelined ports, older load count) for slots
-        fetched before ``branch_slot`` — the bound-to-retire context a
-        mis-speculated window can interfere with."""
+    def _older_context(self, branch_slot: int) -> OlderContext:
+        """The bound-to-retire context of slots fetched before
+        ``branch_slot`` — what a mis-speculated window can interfere
+        with, and *which* older instructions each emission is
+        attributed to (forward interference)."""
         cached = self._older_context_cache.get(branch_slot)
         if cached is not None:
             return cached
         contended: Set[int] = set()
-        older_loads = 0
+        pending_by_port: Dict[int, List[int]] = {}
+        load_slots: List[int] = []
         for slot in range(branch_slot):
             summary = self.resources[slot]
             if summary.is_load:
-                older_loads += 1
-            if summary.may_be_pending() and not summary.pipelined:
-                contended.add(summary.port)
-        self._older_context_cache[branch_slot] = (contended, older_loads)
-        return contended, older_loads
+                load_slots.append(slot)
+            if summary.may_be_pending():
+                pending_by_port.setdefault(summary.port, []).append(slot)
+                if not summary.pipelined:
+                    contended.add(summary.port)
+        context = OlderContext(
+            contended_ports=frozenset(contended),
+            pending_by_port=tuple(
+                (port, tuple(slots))
+                for port, slots in sorted(pending_by_port.items())
+            ),
+            load_slots=tuple(load_slots),
+        )
+        self._older_context_cache[branch_slot] = context
+        return context
 
     # ------------------------------------------------------------------
     def _simulate_window(
@@ -419,7 +468,9 @@ class SymniExecutor:
         model = self.model
         program = self.program
         resources = self.resources
-        contended_ports, older_loads = self._older_context(branch_slot)
+        older = self._older_context(branch_slot)
+        contended_ports = older.contended_ports
+        older_loads = older.older_load_count
         window_tag = f"w{branch_slot}/{direction}"
 
         # reg -> (value or None when unavailable, ready tick)
@@ -580,6 +631,7 @@ class SymniExecutor:
                         Observation(
                             KIND_MSHR_EXHAUST,
                             time=start,
+                            older_slots=older.load_slots,
                             detail=(
                                 f"{window_tag} fanout={len(mshr_lines)}"
                                 f"+{lane.older_load_misses} older"
@@ -621,13 +673,27 @@ class SymniExecutor:
                 and not model.preempt_eus
             ):
                 # GD-NPEU: secret-dependent occupancy of a serializing
-                # unit an older bound-to-retire instruction needs.
+                # unit an older bound-to-retire instruction needs — and
+                # its forward twin, attributing the preemption to the
+                # specific older in-flight slots whose timing it moves.
+                affected = older.pending_on(summary.port)
                 obs.append(
                     Observation(
                         KIND_PORT_BUSY,
                         time=start,
                         port=summary.port,
                         duration=latency,
+                        older_slots=affected,
+                        detail=f"{window_tag} {inst.name or 'alu'}",
+                    )
+                )
+                obs.append(
+                    Observation(
+                        KIND_FWD_PREEMPT,
+                        time=start,
+                        port=summary.port,
+                        duration=latency,
+                        older_slots=affected,
                         detail=f"{window_tag} {inst.name or 'alu'}",
                     )
                 )

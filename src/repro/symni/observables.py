@@ -26,6 +26,14 @@ channels of the paper (and of :mod:`repro.staticcheck.detectors`):
 ``mshr-exhaust``
     The speculative miss fan-out reached the L1-D MSHR capacity while
     an older bound-to-retire load was outstanding (GD-MSHR §3.2.2).
+``fwd-preempt``
+    The *forward* reading of a ``port-busy`` interval ("It's a Trap!",
+    Aimoniotis et al., 2021): the same younger-window occupancy,
+    re-emitted with the **older in-flight instructions it preempts**
+    named in ``older_slots``.  Emitted as a twin immediately after its
+    ``port-busy`` so positional comparison keeps the classic kind at
+    the first divergence while forward tooling can attribute the
+    interference to specific speculation-invariant victims.
 ``ctrl-diverge``
     The *architectural* branch outcome itself depends on the secret.
     Execution beyond this point is not comparable lane-to-lane; the
@@ -49,6 +57,7 @@ KIND_SPEC_ACCESS = "spec-access"
 KIND_SPEC_IFETCH = "spec-ifetch"
 KIND_PORT_BUSY = "port-busy"
 KIND_MSHR_EXHAUST = "mshr-exhaust"
+KIND_FWD_PREEMPT = "fwd-preempt"
 KIND_CTRL_DIVERGE = "ctrl-diverge"
 
 OBSERVATION_KINDS = (
@@ -58,6 +67,7 @@ OBSERVATION_KINDS = (
     KIND_SPEC_IFETCH,
     KIND_PORT_BUSY,
     KIND_MSHR_EXHAUST,
+    KIND_FWD_PREEMPT,
     KIND_CTRL_DIVERGE,
 )
 
@@ -73,8 +83,13 @@ class Observation:
     line: Optional[int] = None
     #: Execution port, for ``port-busy``.
     port: Optional[int] = None
-    #: Occupancy duration in ticks, for ``port-busy``.
+    #: Occupancy duration in ticks, for ``port-busy``/``fwd-preempt``.
     duration: int = 0
+    #: Program slots of the *older*, bound-to-retire instructions this
+    #: younger-window emission interferes with (forward attribution:
+    #: the contenders on the same port for ``fwd-preempt``/``port-busy``,
+    #: the outstanding older loads for ``mshr-exhaust``).
+    older_slots: Tuple[int, ...] = ()
     #: Free-form context (window entry, instruction name, ...).
     detail: str = ""
 
@@ -93,6 +108,10 @@ class Observation:
             parts.append(f"port={self.port}")
         if self.duration:
             parts.append(f"dur={self.duration}")
+        if self.older_slots:
+            parts.append(
+                "older=" + ",".join(str(s) for s in self.older_slots)
+            )
         if self.detail:
             parts.append(f"({self.detail})")
         return " ".join(parts)

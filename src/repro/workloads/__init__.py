@@ -4,8 +4,25 @@ The synthetic suite stands in for SPEC CPU2017 in the Figure 12 defense
 evaluation (see DESIGN.md for the substitution rationale); the random
 generator drives differential property tests of the pipeline against
 the architectural interpreter.
+
+:mod:`repro.workloads.forward` is the forward speculative interference
+attack kit ("It's a Trap!", Aimoniotis et al., 2021): victims whose
+older speculation-invariant instructions are perturbed by younger
+squashed ones, a receiver decoding the secret off the invariant timing,
+and a randomized gadget generator sound against the static detector.
 """
 
+from repro.workloads.forward import (
+    FORWARD_VICTIM_FACTORIES,
+    FORWARD_VICTIMS,
+    ForwardCalibration,
+    ForwardGadgetConfig,
+    ForwardReceiver,
+    forward_eu_victim,
+    forward_mshr_victim,
+    forward_rs_victim,
+    random_forward_gadget,
+)
 from repro.workloads.generators import RandomProgramConfig, random_program
 from repro.workloads.synthetic import (
     SyntheticWorkload,
@@ -14,6 +31,15 @@ from repro.workloads.synthetic import (
 )
 
 __all__ = [
+    "FORWARD_VICTIM_FACTORIES",
+    "FORWARD_VICTIMS",
+    "ForwardCalibration",
+    "ForwardGadgetConfig",
+    "ForwardReceiver",
+    "forward_eu_victim",
+    "forward_mshr_victim",
+    "forward_rs_victim",
+    "random_forward_gadget",
     "RandomProgramConfig",
     "random_program",
     "SyntheticWorkload",

@@ -55,9 +55,9 @@ def test_forward_accepts_any_signal_side():
     signals = dynamic_signals(victim)
     assert signals and all(s.side == "inst" for s in signals)
     findings, _ = _forward_findings("girs")
-    assert _finding_confirmed(findings[0], signals)
+    assert _finding_confirmed(findings[0], signals, victim)
 
 
 def test_forward_unconfirmed_without_signals():
     findings, _ = _forward_findings("gdnpeu")
-    assert not _finding_confirmed(findings[0], [])
+    assert not _finding_confirmed(findings[0], [], victim_by_name("gdnpeu"))

@@ -18,6 +18,7 @@ from repro.symni.checker import (
     STATUS_GAP,
     check_victim,
 )
+from repro.workloads import FORWARD_VICTIMS
 
 ALL_SCHEMES = sorted(SCHEME_FACTORIES)
 
@@ -48,6 +49,18 @@ def test_gdnpeu_verdict_grounded_for_every_scheme(scheme):
         ("girs", "safespec-wfb", STATUS_CLEAN),
         ("gdnpeu-arith", "dom-nontso-vp", STATUS_CONFIRMED),
         ("gdnpeu-architectural", "stt", STATUS_CONFIRMED),
+        # Forward interference ("It's a Trap!"): the EU-latency channel
+        # survives delay-on-miss AND value prediction, the MSHR channel
+        # needs speculative misses, the RS channel dies to value
+        # prediction, and STT/priority block all three.
+        ("fwd-eu", "dom-nontso", STATUS_CONFIRMED),
+        ("fwd-eu", "dom-nontso-vp", STATUS_CONFIRMED),
+        ("fwd-eu", "stt", STATUS_CLEAN),
+        ("fwd-mshr", "invisispec-spectre", STATUS_CONFIRMED),
+        ("fwd-mshr", "dom-nontso", STATUS_CLEAN),
+        ("fwd-rs", "safespec-wfb", STATUS_CONFIRMED),
+        ("fwd-rs", "dom-nontso-vp", STATUS_CLEAN),
+        ("fwd-rs", "priority", STATUS_CLEAN),
     ],
 )
 def test_table1_calibration_rows(victim, scheme, expected):
@@ -71,3 +84,51 @@ def test_clean_symbolic_verdict_matches_quiet_simulator():
     spec = victim_by_name("gdnpeu")
     assert check_victim("gdnpeu", "fence-spectre").status == STATUS_CLEAN
     assert dynamic_signals(spec, "fence-spectre") == []
+
+
+@pytest.mark.parametrize("victim", sorted(FORWARD_VICTIMS))
+def test_forward_three_way_agreement_full_matrix(victim):
+    """Every (forward victim, scheme) pair three-way agrees — static
+    detector, replayed symbolic verdict and dynamic signal — with zero
+    abstraction-gap records: each symbolic counterexample must be
+    reproduced by the simulator, not merely asserted."""
+    rows = reconcile_verdicts([victim], schemes=ALL_SCHEMES, replay=True)
+    assert len(rows) == len(ALL_SCHEMES)
+    for row in rows:
+        assert row.agrees, f"{row.victim}/{row.scheme}: {row.detail}"
+        # The static detector flags every forward victim (the families
+        # column is scheme-independent and never empty here).
+        assert row.static_flagged
+        assert "forward-interference" in row.static_families
+        # Zero unexplained gaps: a symbolically dirty pair must come
+        # back leak-confirmed (replay reproduced), never abstraction-gap.
+        assert row.symbolic_status != STATUS_GAP, (
+            f"{row.victim}/{row.scheme}: {row.detail}"
+        )
+        if row.symbolic_status == STATUS_CONFIRMED:
+            assert row.dynamic_kinds, f"{row.victim}/{row.scheme}"
+    leaking = {r.scheme for r in rows if r.symbolic_status != STATUS_CLEAN}
+    # The acceptance floor: forward victims break the unsafe baseline
+    # and every invisible-speculation scheme.
+    assert {
+        "unsafe",
+        "cleanupspec",
+        "invisispec-spectre",
+        "invisispec-futuristic",
+        "muontrap",
+        "safespec-wfb",
+        "safespec-wfc",
+    } <= leaking
+
+
+def test_enlarged_victim_set_reconciles_on_builtin_slice():
+    """The widened three-way table over a classic + forward mix stays
+    at 100% agreement on a representative scheme slice."""
+    rows = reconcile_verdicts(
+        victims=["gdnpeu", "girs", "fwd-eu", "fwd-rs"],
+        schemes=["unsafe", "dom-nontso", "fence-spectre", "stt"],
+    )
+    assert len(rows) == 16
+    for row in rows:
+        assert row.agrees, f"{row.victim}/{row.scheme}: {row.detail}"
+        assert row.static_flagged

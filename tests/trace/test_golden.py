@@ -34,6 +34,10 @@ GOLDEN_SCENARIOS = [
     ("fig3", "gdnpeu", "dom-nontso"),
     ("fig4", "gdmshr", "invisispec-spectre"),
     ("fig5", "girs", "dom-nontso"),
+    # Forward interference ("It's a Trap!"): the younger squashed
+    # window's EU occupancy delays the OLDER bound-to-retire f-chain
+    # under an invisible-speculation scheme.
+    ("fwd", "fwd-eu", "invisispec-spectre"),
 ]
 
 GOLDEN_CASES = [
@@ -131,3 +135,42 @@ class TestSuiteHasTeeth:
         a = trace_trial("gdnpeu", "dom-nontso", 1)
         b = trace_trial("gdnpeu", "dom-nontso", 1)
         assert first_divergence(a, b) is None
+
+    def test_forward_eu_latency_bump_flagged_at_first_issue(self):
+        """Forward-victim teeth: bumping the secret-1 occupancy of the
+        younger preempting op by one cycle (120 -> 121) is reported at
+        the ISSUE event that grants it the non-pipelined port — same
+        cycle, new ``lat`` payload — before any downstream shift of the
+        older bound-to-retire chain."""
+        baseline = trace_trial("fwd-eu", "invisispec-spectre", 1)
+        perturbed = trace_trial(
+            "fwd-eu", "invisispec-spectre", 1, slow_latency=121
+        )
+        div = first_divergence(baseline, perturbed)
+        assert div is not None
+        assert div.left is not None and div.right is not None
+        assert div.left.kind is EventKind.ISSUE
+        assert div.left.instr == "fwd preempt"
+        assert div.left.cycle == div.right.cycle
+        assert div.left.arg("lat") == 120
+        assert div.right.arg("lat") == 121
+
+    def test_forward_perturbation_shifts_the_older_load(self):
+        """And the channel itself: the 1-cycle younger-window bump
+        moves the OLDER invariant load A's execution later — timing of
+        bound-to-retire work is exactly what the attack reads."""
+        baseline = trace_trial("fwd-eu", "invisispec-spectre", 1)
+        perturbed = trace_trial(
+            "fwd-eu", "invisispec-spectre", 1, slow_latency=121
+        )
+
+        def first_execute(events, name):
+            return next(
+                e.cycle
+                for e in events
+                if e.kind is EventKind.EXECUTE and e.instr == name
+            )
+
+        assert first_execute(perturbed, "load A") > first_execute(
+            baseline, "load A"
+        )

@@ -1,0 +1,143 @@
+"""The forward-interference victim kit: registry, channel, receiver,
+and the forward symni observables.
+
+The family contract ("It's a Trap!"): the monitored loads A/B are
+OLDER than the victim branch — they execute and retire under every
+prediction outcome — and only younger-window resource interference
+moves their timing.  So every victim must leak on the unsafe baseline
+and the invisible-speculation schemes, stay clean under fences, and
+decode through :class:`repro.workloads.ForwardReceiver`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.victims import VICTIM_FACTORIES, victim_by_name
+from repro.isa.instructions import OpClass
+from repro.staticcheck.crossval import dynamic_signals
+from repro.symni.executor import SymniExecutor
+from repro.symni.model import model_for
+from repro.symni.observables import KIND_FWD_PREEMPT, KIND_PORT_BUSY
+from repro.workloads import (
+    FORWARD_VICTIM_FACTORIES,
+    FORWARD_VICTIMS,
+    ForwardReceiver,
+    forward_eu_victim,
+)
+
+
+def test_forward_victims_registered_globally():
+    """Sweep specs reference victims by name; the forward family must
+    resolve through the same global registry as everything else."""
+    assert set(FORWARD_VICTIMS) == {"fwd-eu", "fwd-mshr", "fwd-rs"}
+    for name in FORWARD_VICTIMS:
+        assert name in VICTIM_FACTORIES
+        spec = victim_by_name(name)
+        assert spec.name == name
+        assert spec.gadget == "forward"
+        # The channel is read off older instructions: monitored line A
+        # must exist and be produced BEFORE the victim branch.
+        assert spec.line_a is not None
+        assert spec.program.at(spec.branch_slot).opclass is OpClass.BRANCH
+
+
+def test_factory_kwargs_forward_through_registry():
+    spec = victim_by_name("fwd-eu", slow_latency=90, followers=2)
+    direct = forward_eu_victim(slow_latency=90, followers=2)
+    assert len(spec.program) == len(direct.program)
+
+
+def test_monitored_loads_are_older_than_branch():
+    """The defining property of forward interference: the timed loads
+    retire regardless of the prediction — they sit before the branch."""
+    for name in FORWARD_VICTIMS:
+        spec = victim_by_name(name)
+        load_slots = [
+            s
+            for s, inst in enumerate(spec.program)
+            if inst.name in ("load A", "load B")
+        ]
+        assert load_slots, name
+        assert all(s < spec.branch_slot for s in load_slots), name
+
+
+@pytest.mark.parametrize("name", sorted(FORWARD_VICTIMS))
+def test_forward_victims_leak_where_expected(name):
+    spec = victim_by_name(name)
+    assert dynamic_signals(spec, "unsafe"), f"{name} silent on unsafe"
+    assert dynamic_signals(spec, "invisispec-spectre"), (
+        f"{name} silent under invisible speculation"
+    )
+    assert not dynamic_signals(spec, "fence-spectre"), (
+        f"{name} leaks through a full fence"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(FORWARD_VICTIMS))
+def test_receiver_decodes_the_planted_secret(name):
+    spec = victim_by_name(name)
+    receiver = ForwardReceiver.calibrate(spec, "invisispec-spectre")
+    assert receiver.calibration.usable
+    assert receiver.decode_trial("invisispec-spectre", 0) == 0
+    assert receiver.decode_trial("invisispec-spectre", 1) == 1
+
+
+def test_receiver_reports_no_signal_under_a_fence():
+    spec = victim_by_name("fwd-eu")
+    receiver = ForwardReceiver.calibrate(spec, "fence-spectre")
+    assert not receiver.calibration.usable
+    assert receiver.decode_trial("fence-spectre", 1) is None
+
+
+def test_receiver_requires_a_monitored_line():
+    spec = victim_by_name("girs")  # line_a is None: nothing to time
+    assert spec.line_a is None
+    with pytest.raises(ValueError):
+        ForwardReceiver.calibrate(spec, "unsafe")
+
+
+def test_fwd_preempt_observable_attributes_older_slots():
+    """The symni forward observable: each port-busy interval under an
+    invisible scheme is twinned with a fwd-preempt event naming the
+    older in-flight slots it delays — and those slots are exactly the
+    victim's pre-branch f-chain."""
+    spec = victim_by_name("fwd-eu")
+    result = SymniExecutor.for_victim(
+        spec, model_for("invisispec-spectre")
+    ).run()
+    f_slots = {
+        s
+        for s, inst in enumerate(spec.program)
+        if (inst.name or "").startswith("f") and s < spec.branch_slot
+    }
+    seen = []
+    for trace in result.traces:
+        events = [o for o in trace if o.kind == KIND_FWD_PREEMPT]
+        busy = [o for o in trace if o.kind == KIND_PORT_BUSY]
+        assert len(events) == len(busy)  # twinned 1:1
+        for obs in events:
+            assert obs.older_slots, obs.describe()
+            assert set(obs.older_slots) <= f_slots
+            seen.append(obs)
+    assert seen
+    # Secret-dependent occupancy: the two lanes' fwd-preempt durations
+    # must differ (that difference IS the transmitted bit).
+    durations = {
+        tuple(o.duration for o in trace if o.kind == KIND_FWD_PREEMPT)
+        for trace in result.traces
+    }
+    assert len(durations) == 2
+
+
+def test_fence_emits_no_forward_observables():
+    spec = victim_by_name("fwd-eu")
+    result = SymniExecutor.for_victim(spec, model_for("fence-spectre")).run()
+    for trace in result.traces:
+        assert all(o.kind != KIND_FWD_PREEMPT for o in trace)
+        assert all(o.kind != KIND_PORT_BUSY for o in trace)
+
+
+def test_kit_factories_are_the_registry_entries():
+    for name, factory in FORWARD_VICTIM_FACTORIES.items():
+        assert factory().name == name
