@@ -9,9 +9,10 @@ seed-replicated spec lists, one way to time a runner over them.
 
 from __future__ import annotations
 
+import json
 import os
 import time
-from typing import Callable, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -27,12 +28,28 @@ SWEEP_SCHEMES = (
 )
 
 
-def emit_report(name: str, text: str) -> str:
-    """Print and persist a report; returns the file path."""
+def emit_report(
+    name: str, text: str, data: Optional[Dict[str, Any]] = None
+) -> str:
+    """Print and persist a report; returns the ``.txt`` file path.
+
+    Every report also gets a machine-readable ``BENCH_<name>.json``
+    companion so CI gates (and EXPERIMENTS.md tooling) can assert on
+    numbers instead of grepping prose.  ``data`` carries the bench's
+    structured payload — speedup ratios, trial counts, budget floors;
+    without it the JSON still records the name/report linkage.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as fh:
         fh.write(text + "\n")
+    json_path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    payload = {"name": name, "report": f"{name}.txt"}
+    if data is not None:
+        payload.update(data)
+    with open(json_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     print()
     print(text)
     return path

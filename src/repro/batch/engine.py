@@ -42,6 +42,7 @@ from repro.batch.ops import (
     cache_fill,
     cache_invalidate,
     cache_touch,
+    stream_jitter_draws,
 )
 from repro.batch.state import BatchState
 from repro.memory.coherence import CoherenceState
@@ -484,9 +485,15 @@ class LockstepMirror:
                 levels[p] = "LLC"
         missp = restp[~llc_hit]
         if missp.size:
-            # Eligibility requires dram_jitter == 0, so access_latency()
-            # is the flat DRAM latency and draws no RNG.
             latency[missp] += cfg.dram_latency
+            if cfg.dram_jitter > 0:
+                # Per-lane counter-stream jitter, exactly what the
+                # scalar CounterStream draws for a DRAM-reaching access
+                # keyed (seed, cycle, core, seq) — lanes whose cache
+                # state keeps them off DRAM simply do not draw.
+                latency[missp] += stream_jitter_draws(
+                    st, lanes[missp], cycle, core, cfg.dram_jitter
+                )
             if visible:
                 miss_lanes = lanes[missp]
                 evicted = cache_fill(llc, miss_lanes, line, True, sink)
@@ -642,6 +649,70 @@ class LockstepMirror:
         self.finished = True
 
     # ------------------------------------------------------------------
+    # batched probe phase
+    # ------------------------------------------------------------------
+    def run_probe(
+        self, probe_accesses: Sequence[int]
+    ) -> Dict[int, Tuple[int, ...]]:
+        """Run the attacker probe phase scalar-on-the-leader and
+        vectorized across every live lane; returns lane -> latencies.
+
+        Call after :meth:`finish` with the observers uninstalled: the
+        scalar witness run below must not re-enter the mirror's
+        callbacks.  The leader lane's vectorized latencies are checked
+        against the scalar witness per address, and the leader's SoA
+        state must still reproduce ``hierarchy.capture()`` afterwards —
+        either mismatch raises :class:`BatchMirrorError`.
+        """
+        from repro.core.harness import run_probe_phase
+
+        if not self.finished:
+            raise BatchMirrorError("run_probe requires finish() first")
+        if self.h.observer is not None or self.h.llc.observer is not None:
+            raise BatchMirrorError(
+                "run_probe requires the mirror observers uninstalled"
+            )
+        witness = run_probe_phase(
+            self.machine, probe_accesses, core=self.attacker_core
+        )
+        lanes = self._lanes()
+        cycle = self.machine.cycle
+        core = self.attacker_core
+        st = self.state
+        sink = self._open_sink()
+        per_lane: Dict[int, List[int]] = {
+            lane: [] for lane in lanes.tolist()
+        }
+        leader_pos = int(np.nonzero(lanes == self.leader_lane)[0][0])
+        for i, addr in enumerate(probe_accesses):
+            line = self.line_addr(addr)
+            # Same eviction order as AttackerAgent.evict_own_copy /
+            # run_probe_phase: the attacker's own L1D, L1I, L2.
+            cache_invalidate(st.caches[3 * core + 1], lanes, line, sink)
+            cache_invalidate(st.caches[3 * core], lanes, line, sink)
+            cache_invalidate(st.caches[3 * core + 2], lanes, line, sink)
+            latency, _, _, _ = self._mirror_access(
+                lanes, core, addr, AccessKind.DATA, True, cycle, sink
+            )
+            if int(latency[leader_pos]) != witness[i]:
+                raise BatchMirrorError(
+                    f"probe mirror mismatch at addr={addr:#x}: leader "
+                    f"lane measured {int(latency[leader_pos])}, scalar "
+                    f"witness {witness[i]}"
+                )
+            for j, lane in enumerate(lanes.tolist()):
+                per_lane[lane].append(int(latency[j]))
+        # One span for the whole probe: the scalar probe's events are a
+        # single trailing run of cache kinds, substituted per lane.
+        self._record_span(sink.buffers if sink is not None else None)
+        if self.state.to_snapshot(self.leader_lane) != self.h.capture():
+            raise BatchMirrorError(
+                "leader lane SoA state drifted across the probe phase "
+                "(mirror bug)"
+            )
+        return {lane: tuple(lats) for lane, lats in per_lane.items()}
+
+    # ------------------------------------------------------------------
     # per-lane trace reconstruction
     # ------------------------------------------------------------------
     def lane_trace(self, lane: int) -> List[TraceEvent]:
@@ -741,21 +812,28 @@ def run_batch_group_detailed(
 ) -> BatchGroupReport:
     """As :func:`run_batch_group`, but returning per-cohort diagnostics
     (ejections, per-lane traces) and raising on group-level failures."""
+    from repro.batch.plan import stream_dependent
     from repro.core.victims import victim_by_name
     from repro.runner.runner import run_trial_outcome
 
     specs = list(specs)
     victim = victim_by_name(specs[0].victim, **dict(specs[0].victim_kwargs))
-    # One cohort per secret; one lane per distinct reference schedule
-    # (seed is inert for batch-eligible specs, so seed-only variants
-    # share a lane and are relabeled below, exactly like fork does).
-    cohorts: Dict[int, Dict[Tuple, TrialSpec]] = {}
+    # One lane per distinct reference schedule.  Stream-inert groups
+    # (no jitter, no noise) cohort per secret: seed does not affect the
+    # trial, so seed-only variants share a lane and are relabeled below,
+    # exactly like fork does.  Stream-dependent groups cohort per
+    # (secret, seed): the counter streams are keyed by seed, so lanes
+    # can only share a leader that shares their seed, and no relabeling
+    # happens.
+    stream_dep = stream_dependent(specs[0])
+    cohorts: Dict[Tuple[int, int], Dict[Tuple, TrialSpec]] = {}
     for spec in specs:
-        lane_map = cohorts.setdefault(spec.secret, {})
+        cohort_key = (spec.secret, spec.seed if stream_dep else 0)
+        lane_map = cohorts.setdefault(cohort_key, {})
         lane_map.setdefault(tuple(spec.reference_accesses), spec)
-    summaries: Dict[Tuple[int, Tuple], Optional[TrialSummary]] = {}
+    summaries: Dict[Tuple[int, int, Tuple], Optional[TrialSummary]] = {}
     cohort_runs: List[CohortRun] = []
-    for secret, lane_map in cohorts.items():
+    for (secret, seed_key), lane_map in cohorts.items():
         lane_specs = list(lane_map.values())
         try:
             run = _run_cohort(victim, secret, lane_specs, with_traces)
@@ -777,12 +855,18 @@ def run_batch_group_detailed(
             )
         cohort_runs.append(run)
         for k, lane_spec in enumerate(lane_specs):
-            summaries[(secret, tuple(lane_spec.reference_accesses))] = (
-                run.summaries.get(k)
-            )
+            summaries[
+                (secret, seed_key, tuple(lane_spec.reference_accesses))
+            ] = run.summaries.get(k)
     outcomes: List[TrialOutcome] = []
     for spec in specs:
-        summary = summaries[(spec.secret, tuple(spec.reference_accesses))]
+        summary = summaries[
+            (
+                spec.secret,
+                spec.seed if stream_dep else 0,
+                tuple(spec.reference_accesses),
+            )
+        ]
         if summary is None:
             # Ejected / failed lane: the cold path is authoritative.
             outcomes.append(run_trial_outcome(spec, plan=None))
@@ -802,6 +886,48 @@ def run_batch_group_detailed(
             )
         )
     return BatchGroupReport(outcomes=outcomes, cohorts=cohort_runs)
+
+
+def _lane_metrics(
+    machine: Any,
+    state: BatchState,
+    lane: int,
+    horizon: int,
+    stage_events: Optional[List[TraceEvent]],
+) -> Dict[str, Any]:
+    """Project one follower lane's metrics registry.
+
+    Core pipeline / LSU / MSHR counters and the stage histograms are
+    the leader's: converged lanes saw bit-identical per-op results, so
+    the victim pipeline evolved identically.  Cache rows, DRAM traffic
+    and the visible-access count come from the lane's own SoA counters.
+    Built through :func:`repro.system.stats.compose_metrics`, so the
+    registry is insertion-order-identical to a cold run's.
+    """
+    from repro.system.stats import compose_metrics
+
+    cache_rows = []
+    for cache in state.caches:
+        row = cache.stats[lane]
+        cache_rows.append(
+            (
+                cache.name,
+                int(row[0]),
+                int(row[1]),
+                int(row[2]),
+                int(row[3]),
+                int(row[4]),
+            )
+        )
+    return compose_metrics(
+        cycles=horizon,
+        cores=[core for _, core in sorted(machine.cores.items())],
+        cache_rows=cache_rows,
+        dram_reads=int(state.mem_reads[lane]),
+        dram_writes=int(state.mem_writes[lane]),
+        visible_accesses=len(state.visible_log[lane]),
+        events=stage_events,
+    ).to_json()
 
 
 def _run_cohort(
@@ -824,6 +950,13 @@ def _run_cohort(
         from repro.trace import Tracer
 
         tracer = Tracer()
+    elif leader_spec.collect_metrics:
+        # Metrics need the per-stage latency histograms, which come from
+        # a stage-filtered trace — exactly what the cold path installs.
+        from repro.trace import Tracer
+        from repro.trace.events import STAGE_KINDS
+
+        tracer = Tracer(kinds=STAGE_KINDS)
     setup = begin_victim_trial(
         victim,
         leader_spec.scheme,
@@ -840,8 +973,9 @@ def _run_cohort(
     machine = setup.machine
     hierarchy = machine.hierarchy
     # All lanes start from the leader's prepared state: within a cohort
-    # the memory image (and secret) are identical, and the per-spec
-    # seeds are inert for batch-eligible specs.
+    # the memory image (and secret) are identical, and every lane shares
+    # the leader's seed whenever the seed matters (stream-dependent
+    # groups cohort per seed; stream-inert seeds are relabeled).
     state = BatchState.from_snapshots(
         hierarchy, [hierarchy.capture()] * len(lane_specs)
     )
@@ -860,15 +994,38 @@ def _run_cohort(
         hierarchy.llc.observer = None
     mirror.finish()
 
+    # Summary windows close when the victim halts: slice them *before*
+    # the probe phase appends its own visible accesses.
+    windows: Dict[int, Tuple] = {}
+    for k in range(1, len(lane_specs)):
+        if mirror.active[k]:
+            windows[k] = tuple(state.visible_log[k][setup.log_start :])
+    probe_latencies: Dict[int, Tuple[int, ...]] = {}
+    if leader_spec.probe_accesses:
+        probe_latencies = mirror.run_probe(leader_spec.probe_accesses)
+
     summaries: Dict[int, TrialSummary] = {
-        0: _summarize(leader_spec, victim, result)
+        0: _summarize(
+            leader_spec,
+            victim,
+            result,
+            probe_latencies=probe_latencies.get(0),
+        )
     }
     horizon = machine.cycle
     retired = result.core.stats.retired
+    stage_events = None
+    if leader_spec.collect_metrics:
+        from repro.trace.events import STAGE_KINDS
+
+        stage = frozenset(STAGE_KINDS)
+        stage_events = [
+            e for e in machine.tracer.events if e.kind in stage
+        ]
     for k, spec in enumerate(lane_specs):
         if k == 0 or not mirror.active[k]:
             continue
-        window = state.visible_log[k][setup.log_start :]
+        window = windows[k]
         monitored = (
             list(victim.monitored_lines())
             + [addr & ~(LINE - 1) for addr, _ in spec.reference_accesses]
@@ -878,6 +1035,11 @@ def _run_cohort(
         for line in monitored:
             access_cycle[line] = next(
                 (e.cycle for e in window if e.line == line), None
+            )
+        metrics = None
+        if spec.collect_metrics:
+            metrics = _lane_metrics(
+                machine, state, k, horizon, stage_events
             )
         summaries[k] = TrialSummary(
             victim=spec.victim,
@@ -890,8 +1052,9 @@ def _run_cohort(
             retired=retired,
             line_a=victim.line_a,
             line_b=victim.line_b,
-            metrics=None,
+            metrics=metrics,
             snapshot_path=None,
+            probe_latencies=probe_latencies.get(k),
         )
     traces: Optional[Dict[int, List[TraceEvent]]] = None
     if with_traces:

@@ -20,7 +20,14 @@ from __future__ import annotations
 from typing import Any, Optional, Protocol
 
 from repro.batch._numpy import np
-from repro.batch.state import QLRU_INSERT_AGE, QLRU_MAX_AGE, LaneCache
+from repro.batch.state import QLRU_INSERT_AGE, QLRU_MAX_AGE, BatchState, LaneCache
+from repro.memory.stream import (
+    CYCLE_MULT,
+    DOMAIN_MULT,
+    SEQ_MULT,
+    DOMAIN_DRAM,
+    MASK64,
+)
 from repro.trace.events import EventKind
 
 #: QLRU hit promotion (H11): age' = table[age]  ({3:1, 2:1, 1:0, 0:0}).
@@ -294,3 +301,42 @@ def cache_contains(lc: LaneCache, lanes: Any, line: int) -> Any:
     """Mirror of ``Cache.contains``: pure per-lane presence mask."""
     gset = lc.global_set(line)
     return (lc.lines[lanes, gset, :] == line).any(axis=1)
+
+
+# ----------------------------------------------------------------------
+# counter-stream mirrors (repro.memory.stream, vectorized)
+# ----------------------------------------------------------------------
+def _mix64_vec(x: Any) -> Any:
+    """Vector twin of :func:`repro.memory.stream.mix64` on uint64."""
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def stream_words(seeds: Any, domain: int, cycle: int, seqs: Any) -> Any:
+    """Vector twin of :func:`repro.memory.stream.stream_word`.
+
+    ``seeds`` is a uint64 array and ``seqs`` an int64 array (per lane);
+    ``domain`` and ``cycle`` are scalars shared by the subset.  Bit-
+    identical to the scalar mixer — the parity property is pinned by
+    ``tests/memory/test_stream.py``.
+    """
+    x = _mix64_vec(seeds ^ np.uint64((domain * DOMAIN_MULT) & MASK64))
+    x = _mix64_vec(x ^ np.uint64((cycle * CYCLE_MULT) & MASK64))
+    x = _mix64_vec(x ^ (seqs.astype(np.uint64) * np.uint64(SEQ_MULT)))
+    return x
+
+
+def stream_jitter_draws(
+    state: BatchState, lanes: Any, cycle: int, core: int, jitter: int
+) -> Any:
+    """Per-lane DRAM jitter draws in ``[0, jitter]`` for an access by
+    ``core`` at ``cycle``, advancing each lane's seq counter exactly as
+    the scalar :meth:`CounterStream.jitter_draw` would."""
+    match = (state.stream_cycle[lanes] == cycle) & (state.stream_core[lanes] == core)
+    seqs = np.where(match, state.stream_seq[lanes] + 1, 0)
+    state.stream_cycle[lanes] = cycle
+    state.stream_core[lanes] = core
+    state.stream_seq[lanes] = seqs
+    words = stream_words(state.stream_seed[lanes], DOMAIN_DRAM + core, cycle, seqs)
+    return (words % np.uint64(jitter + 1)).astype(np.int64)

@@ -1,25 +1,26 @@
 """Batch-group planning: which specs can run lanes-in-lockstep.
 
 A batch group is a set of :class:`~repro.runner.spec.TrialSpec`s that
-differ only in ``secret``, ``seed`` (inert for eligible specs), and
-``reference_accesses`` — the attacker's fixed-cycle "clock" reads of
-§3.3.  Reference-access sweeps are exactly the dimension the
-snapshot-fork engine cannot merge (its group key keeps the schedule),
-and exactly what the batched SoA engine simulates as follower lanes.
+differ only in ``secret``, ``seed``, and ``reference_accesses`` — the
+attacker's fixed-cycle "clock" reads of §3.3.  Reference-access sweeps
+are exactly the dimension the snapshot-fork engine cannot merge (its
+group key keeps the schedule), and exactly what the batched SoA engine
+simulates as follower lanes.
 
-Eligibility is stricter than fork's: the engine mirrors the memory
-system only, so anything that makes per-trial behaviour depend on
-state outside it (noise injection, fault plans — checked by the
-runner), on per-cycle hooks (sanitizers), or on RNG draw order
-(DRAM jitter) stays on the fork/cold paths.  Metrics and snapshot
-collection need the variant's own Machine, which follower lanes do
-not have.
+Since the counter-based RNG streams landed (:mod:`repro.memory.stream`),
+DRAM jitter, noise injection, and metrics collection all batch: jitter
+draws are keyed ``(seed, cycle, core, seq)`` so the mirror replays them
+per lane, the noise schedule is a pure function of ``(seed, cycle)``,
+and metrics are projected per lane from the SoA counters.  What still
+cannot batch: sanitizer hooks (per-cycle machine instrumentation the
+mirror cannot replay), snapshot collection (needs the variant's own
+Machine), and — checked by the runner — active fault plans.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.batch._numpy import HAVE_NUMPY
 from repro.runner.spec import TrialSpec
@@ -29,53 +30,121 @@ from repro.runner.spec import TrialSpec
 #: strictly cheaper than mirroring.
 MIN_LANES = 2
 
+#: Bypass-reason keys surfaced as ``sweep.batch.bypass.*`` counters.
+BYPASS_NO_NUMPY = "no_numpy"
+BYPASS_SANITIZE = "sanitize"
+BYPASS_SNAPSHOT = "snapshot"
+BYPASS_MIN_LANES = "min_lanes"
+BYPASS_FAULTS = "faults"
+
+
+def effective_dram_jitter(spec: TrialSpec) -> int:
+    """The DRAM jitter this spec will actually run with.
+
+    ``hierarchy_config=None`` means the runner builds the module-level
+    default (``repro.core.victims.ATTACK_HIERARCHY``); this probe makes
+    that fallback explicit so a future change to the default hierarchy
+    cannot silently flip stream handling.
+    """
+    if spec.hierarchy_config is not None:
+        return spec.hierarchy_config.dram_jitter
+    from repro.core.victims import ATTACK_HIERARCHY
+
+    return ATTACK_HIERARCHY.dram_jitter
+
+
+def stream_dependent(spec: TrialSpec) -> bool:
+    """True when trial behaviour consumes the counter RNG streams
+    (DRAM jitter or noise injection) — such specs share a cohort only
+    with same-seed specs, and their seeds cannot be relabeled."""
+    return spec.noise_rate > 0.0 or effective_dram_jitter(spec) > 0
+
+
+def batch_bypass_reason(spec: TrialSpec) -> Optional[str]:
+    """Why this spec cannot batch, or None when it is eligible."""
+    if not HAVE_NUMPY:
+        return BYPASS_NO_NUMPY
+    if spec.sanitize:
+        return BYPASS_SANITIZE
+    if spec.snapshot_dir is not None:
+        return BYPASS_SNAPSHOT
+    return None
+
 
 def batch_eligible(spec: TrialSpec) -> bool:
     """True when the lockstep mirror can soundly simulate this spec."""
-    if not HAVE_NUMPY:
-        return False
-    if spec.sanitize or spec.noise_rate > 0.0:
-        return False
-    if spec.collect_metrics or spec.snapshot_dir is not None:
-        return False
-    if spec.hierarchy_config is not None:
-        return spec.hierarchy_config.dram_jitter == 0
-    from repro.core.victims import ATTACK_HIERARCHY
-
-    return ATTACK_HIERARCHY.dram_jitter == 0
+    return batch_bypass_reason(spec) is None
 
 
 def group_key(spec: TrialSpec) -> str:
-    """Digest with the batchable dimensions normalized out."""
+    """Digest with the batchable dimensions normalized out.
+
+    Seed is normalized even for stream-dependent specs: noise and
+    jitter parameters stay in the key, and the engine re-partitions a
+    stream-dependent group into per-``(secret, seed)`` cohorts.
+    """
     return (
         "batch:"
         + replace(spec, secret=0, seed=0, reference_accesses=()).digest()
     )
 
 
-def plan_batch_groups(
+def plan_batch_groups_report(
     specs: Sequence[TrialSpec],
-) -> Tuple[List[List[int]], List[int]]:
-    """Partition spec indices into batch groups and a passthrough rest.
+) -> Tuple[List[List[int]], List[int], Dict[str, int]]:
+    """Partition spec indices into batch groups, a passthrough rest,
+    and per-reason bypass counts.
 
-    Returns ``(groups, passthrough)``: each group is a list of indices
-    (in spec order) whose specs differ only in secret / seed /
-    reference schedule, with at least :data:`MIN_LANES` distinct
-    schedules; everything else flows to the fork/cold layers.
+    Each group is a list of indices (in spec order) whose specs differ
+    only in secret / seed / reference schedule, with at least
+    :data:`MIN_LANES` distinct schedules (for stream-dependent groups:
+    within at least one ``(secret, seed)`` cohort, since seeds cannot
+    share lanes there); everything else flows to the fork/cold layers,
+    with the reason tallied in the returned mapping.
     """
     buckets: Dict[str, List[int]] = {}
     passthrough: List[int] = []
+    bypassed: Dict[str, int] = {}
     for i, spec in enumerate(specs):
-        if not batch_eligible(spec):
+        reason = batch_bypass_reason(spec)
+        if reason is not None:
+            bypassed[reason] = bypassed.get(reason, 0) + 1
             passthrough.append(i)
             continue
         buckets.setdefault(group_key(spec), []).append(i)
     groups: List[List[int]] = []
     for indices in buckets.values():
-        schedules = {tuple(specs[i].reference_accesses) for i in indices}
-        if len(indices) >= MIN_LANES and len(schedules) >= MIN_LANES:
+        if _worth_mirroring(specs, indices):
             groups.append(indices)
         else:
+            bypassed[BYPASS_MIN_LANES] = bypassed.get(BYPASS_MIN_LANES, 0) + len(
+                indices
+            )
             passthrough.extend(indices)
     passthrough.sort()
+    return groups, passthrough, bypassed
+
+
+def _worth_mirroring(specs: Sequence[TrialSpec], indices: List[int]) -> bool:
+    if len(indices) < MIN_LANES:
+        return False
+    if stream_dependent(specs[indices[0]]):
+        # Lanes can only share a cohort when they share the seed, so
+        # demand enough distinct schedules inside one (secret, seed).
+        cohorts: Dict[Tuple[int, int], set] = {}
+        for i in indices:
+            spec = specs[i]
+            cohorts.setdefault((spec.secret, spec.seed), set()).add(
+                tuple(spec.reference_accesses)
+            )
+        return max(len(s) for s in cohorts.values()) >= MIN_LANES
+    schedules = {tuple(specs[i].reference_accesses) for i in indices}
+    return len(schedules) >= MIN_LANES
+
+
+def plan_batch_groups(
+    specs: Sequence[TrialSpec],
+) -> Tuple[List[List[int]], List[int]]:
+    """:func:`plan_batch_groups_report` without the bypass tally."""
+    groups, passthrough, _ = plan_batch_groups_report(specs)
     return groups, passthrough

@@ -46,12 +46,14 @@ class BatchSchemaError(RuntimeError):
 
 
 def _check_snapshot_versions() -> None:
-    """The SoA layout below hand-mirrors the version-1 capture tuples;
-    fail hard if any component has since been re-versioned."""
+    """The SoA layout below hand-mirrors specific capture-tuple
+    versions; fail hard if any component has since been re-versioned.
+    (MainMemory v2 = the counter-stream state tuple of
+    :mod:`repro.memory.stream`.)"""
     expected = {
         Cache: 1,
         CacheHierarchy: 1,
-        MainMemory: 1,
+        MainMemory: 2,
         MSHRFile: 1,
         CoherenceDirectory: 1,
     }
@@ -184,11 +186,17 @@ class BatchState:
         self.n_lanes = n_lanes
         #: ``all_caches()`` order: per-core (l1i, l1d, l2), then the LLC.
         self.caches: List[LaneCache] = []
-        #: Per-lane sparse DRAM contents / RNG state / access counters.
+        #: Per-lane sparse DRAM contents / access counters.
         self.mem_data: List[Dict[int, int]] = []
-        self.mem_rng_state: List[Tuple] = []
         self.mem_reads: Any = np.zeros(n_lanes, dtype=np.int64)
         self.mem_writes: Any = np.zeros(n_lanes, dtype=np.int64)
+        #: Per-lane counter-stream state (``MainMemory`` v2 capture:
+        #: ``(seed, last_cycle, last_core, seq)``), kept as numpy arrays
+        #: so the mirror draws DRAM jitter vectorized across lanes.
+        self.stream_seed: Any = np.zeros(n_lanes, dtype=np.uint64)
+        self.stream_cycle: Any = np.full(n_lanes, -1, dtype=np.int64)
+        self.stream_core: Any = np.full(n_lanes, -1, dtype=np.int64)
+        self.stream_seq: Any = np.full(n_lanes, -1, dtype=np.int64)
         #: Per-lane MSHR-file captures.  MSHR traffic is victim-driven
         #: and therefore uniform across converged lanes; the engine
         #: overwrites these with the leader's final capture at finish.
@@ -218,9 +226,13 @@ class BatchState:
             )
         for lane, capture in enumerate(captures):
             _caches, memory, mshrs, log, coherence, rng_state = capture
-            data, mem_rng, reads, writes = memory
+            data, stream_state, reads, writes = memory
+            seed, last_cycle, last_core, seq = stream_state
             state.mem_data.append(dict(data))
-            state.mem_rng_state.append(mem_rng)
+            state.stream_seed[lane] = seed
+            state.stream_cycle[lane] = last_cycle
+            state.stream_core[lane] = last_core
+            state.stream_seq[lane] = seq
             state.mem_reads[lane] = reads
             state.mem_writes[lane] = writes
             state.mshrs.append(mshrs)
@@ -257,7 +269,12 @@ class BatchState:
             tuple(cache.to_snapshot(lane) for cache in self.caches),
             (
                 dict(self.mem_data[lane]),
-                self.mem_rng_state[lane],
+                (
+                    int(self.stream_seed[lane]),
+                    int(self.stream_cycle[lane]),
+                    int(self.stream_core[lane]),
+                    int(self.stream_seq[lane]),
+                ),
                 int(self.mem_reads[lane]),
                 int(self.mem_writes[lane]),
             ),

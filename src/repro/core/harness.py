@@ -298,6 +298,48 @@ def finish_victim_trial(
     )
 
 
+def run_probe_phase(
+    machine: Machine,
+    probe_accesses: Sequence[int],
+    *,
+    core: int = ATTACKER_CORE,
+) -> Tuple[int, ...]:
+    """Attacker probe phase, run after the victim window has closed.
+
+    For each probe address in order: evict the attacker's *own* private
+    copies (L1D/L1I/L2, exactly :meth:`AttackerAgent.evict_own_copy`),
+    then issue one timed visible read from the attacker core at the
+    machine's final cycle.  The returned latencies decode LLC residency
+    against ``hierarchy.miss_threshold()`` — the Flush+Reload style
+    receiver measurement of §4.1, made a first-class trial phase so the
+    batched engine can vectorize it per lane.
+
+    Mutates machine state (probe fills are real fills); callers collect
+    metrics/snapshots *after* the probe so every execution path agrees
+    on what the final state includes.
+    """
+    hierarchy = machine.hierarchy
+    cycle = machine.cycle
+    tracer = hierarchy.tracer
+    latencies = []
+    for addr in probe_accesses:
+        line = hierarchy.llc.layout.line_addr(addr)
+        if tracer is not None:
+            # The direct invalidations below bypass the access path that
+            # normally stamps the tracer context; stamp it here so probe
+            # events attribute to the probing core at the probe cycle.
+            tracer.cycle = cycle
+            tracer.core = core
+        hierarchy.l1d[core].invalidate(line)
+        hierarchy.l1i[core].invalidate(line)
+        hierarchy.l2[core].invalidate(line)
+        result = hierarchy.access(
+            core, addr, AccessKind.DATA, visible=True, cycle=cycle
+        )
+        latencies.append(result.latency)
+    return tuple(latencies)
+
+
 def run_victim_trial(
     spec: VictimSpec,
     scheme: Union[str, SpeculationScheme],

@@ -255,7 +255,7 @@ class CacheHierarchy:
                 l2.fill(addr)
                 l1.fill(addr)
                 return AccessResult(latency, "LLC", value, line, reached_llc=True)
-            latency += self.memory.access_latency()
+            latency += self.memory.access_latency(cycle, core)
             self.llc.fill(addr)
             l2.fill(addr)
             l1.fill(addr)
@@ -270,7 +270,7 @@ class CacheHierarchy:
         latency += self.config.llc.latency
         if self.llc.access(addr, update=False):
             return AccessResult(latency, "LLC", value, line, reached_llc=True)
-        latency += self.memory.access_latency()
+        latency += self.memory.access_latency(cycle, core)
         return AccessResult(latency, "DRAM", value, line, reached_llc=True)
 
     def write(self, core: int, addr: int, value: int, *, cycle: int = 0) -> AccessResult:

@@ -7,17 +7,20 @@ behind the Figure 11 error/bit-rate tradeoff).
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.memory.stream import CounterStream
 
 
 class MainMemory:
     """Sparse physical memory with optional access-latency jitter."""
 
     #: Snapshot schema (see :mod:`repro.snapshot.schema`): bump when the
-    #: capture tuple layout changes.
-    SNAP_VERSION = 1
-    SNAP_SCHEMA = ("data", "rng_state", "reads", "writes")
+    #: capture tuple layout changes.  v2: the Mersenne Twister jitter RNG
+    #: was replaced by the counter-based stream of
+    #: :mod:`repro.memory.stream`, whose whole state is four ints.
+    SNAP_VERSION = 2
+    SNAP_SCHEMA = ("data", "stream_state", "reads", "writes")
 
     def __init__(
         self,
@@ -33,7 +36,7 @@ class MainMemory:
             raise ValueError("jitter must be non-negative")
         self.latency = latency
         self.jitter = jitter
-        self._rng = random.Random(seed)
+        self._stream = CounterStream(seed)
         self._data: Dict[int, int] = dict(contents or {})
         self.reads = 0
         self.writes = 0
@@ -58,25 +61,31 @@ class MainMemory:
         for offset, value in enumerate(values):
             self.write(base + offset * stride, value)
 
-    def access_latency(self) -> int:
-        """DRAM access time for one request, including jitter."""
+    def access_latency(self, cycle: int = 0, core: int = 0) -> int:
+        """DRAM access time for one request, including jitter.
+
+        The draw is keyed by the requesting ``(cycle, core)`` through the
+        counter stream, so a replayer (fork child, lockstep mirror lane)
+        reconstructs the identical draw from the key alone.  With zero
+        jitter no draw happens and no stream state is touched.
+        """
         if self.jitter == 0:
             return self.latency
-        return self.latency + self._rng.randint(0, self.jitter)
+        return self.latency + self._stream.jitter_draw(cycle, core, self.jitter)
 
     def snapshot(self) -> Dict[int, int]:
         return dict(self._data)
 
     def reseed(self, seed: int) -> None:
-        self._rng = random.Random(seed)
+        self._stream = CounterStream(seed)
 
     # -- snapshot -------------------------------------------------------
     def capture(self) -> Tuple:
-        return (dict(self._data), self._rng.getstate(), self.reads, self.writes)
+        return (dict(self._data), self._stream.state(), self.reads, self.writes)
 
     def restore(self, state: Tuple) -> None:
-        data, rng_state, reads, writes = state
+        data, stream_state, reads, writes = state
         self._data = dict(data)
-        self._rng.setstate(rng_state)
+        self._stream.set_state(stream_state)
         self.reads = reads
         self.writes = writes

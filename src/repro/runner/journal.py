@@ -70,6 +70,11 @@ def summary_to_json(summary: TrialSummary) -> dict:
             if summary.snapshot_path is not None
             else {}
         ),
+        **(
+            {"probe_latencies": list(summary.probe_latencies)}
+            if summary.probe_latencies is not None
+            else {}
+        ),
     }
 
 
@@ -96,6 +101,11 @@ def summary_from_json(data: dict) -> TrialSummary:
         line_b=data["line_b"],
         metrics=data.get("metrics"),
         snapshot_path=data.get("snapshot_path"),
+        probe_latencies=(
+            tuple(data["probe_latencies"])
+            if data.get("probe_latencies") is not None
+            else None
+        ),
     )
 
 

@@ -146,6 +146,15 @@ def run_trial_spec(spec: TrialSpec, *, fault_injector=None) -> TrialSummary:
         raise RuntimeError(
             f"run_victim_trial returned no core handle for {spec.label()}"
         )
+    probe_latencies = None
+    if spec.probe_accesses:
+        # Probe before metrics/snapshot capture: every execution path
+        # (cold, fork, batch) agrees the final state includes the probe.
+        from repro.core.harness import run_probe_phase
+
+        probe_latencies = run_probe_phase(
+            result.machine, spec.probe_accesses
+        )
     metrics = None
     if spec.collect_metrics:
         from repro.system.stats import machine_metrics
@@ -173,6 +182,7 @@ def run_trial_spec(spec: TrialSpec, *, fault_injector=None) -> TrialSummary:
         line_b=victim.line_b,
         metrics=metrics,
         snapshot_path=snapshot_path,
+        probe_latencies=probe_latencies,
     )
 
 
@@ -310,15 +320,20 @@ def _run_fork_group_outcomes(specs: List[TrialSpec]):
 
 def _run_batch_group_outcomes(specs: List[TrialSpec]):
     """Pool-dispatchable batch-group body (module-level, picklable by
-    reference).  Returns aligned outcomes, or None when the group must
-    fall back to the fork/cold layers."""
-    from repro.batch.engine import run_batch_group
+    reference).  Returns ``(outcomes, ejected_lane_count)`` — outcomes
+    aligned with ``specs``, or ``(None, 0)`` when the group must fall
+    back to the fork/cold layers."""
+    from repro.batch.engine import run_batch_group_detailed
 
-    outcomes = run_batch_group(specs)
-    if outcomes is not None:
-        for outcome in outcomes:
-            _check_lean_transport(outcome)
-    return outcomes
+    try:
+        report = run_batch_group_detailed(specs)
+    except KeyboardInterrupt:
+        raise
+    except Exception:
+        return None, 0
+    for outcome in report.outcomes:
+        _check_lean_transport(outcome)
+    return report.outcomes, report.ejected
 
 
 class SweepRunner:
@@ -343,6 +358,11 @@ class SweepRunner:
     #: ``cache_dir`` (one instance per runner, so its hit/miss/bypass
     #: counters accumulate across runs); None when caching is off.
     _trial_cache = None
+    #: Batched-lockstep accounting (lanes batched / ejected, per-reason
+    #: bypass counts).  Accumulates across runs on one runner, exactly
+    #: like the trial cache's counters; None until a batch=True sweep
+    #: runs.
+    _batch_stats: Optional[Dict[str, int]] = None
 
     @property
     def trial_cache(self):
@@ -400,8 +420,20 @@ class SweepRunner:
                     outcomes[i] = hit
                     cached.add(i)
         _merge_journal(specs, outcomes, journal)
-        if self.batch and faults.current_plan() is None:
-            self._run_batch_groups(specs, outcomes, journal)
+        if self.batch:
+            if self._batch_stats is None:
+                self._batch_stats = {}
+            if faults.current_plan() is None:
+                self._run_batch_groups(specs, outcomes, journal)
+            else:
+                # An active fault plan disables the mirror wholesale
+                # (injected faults must land on real per-spec machines);
+                # account for it like any other bypass.
+                from repro.batch.plan import BYPASS_FAULTS
+
+                pending = sum(1 for o in outcomes if o is None)
+                if pending:
+                    self._tally_batch({f"bypass.{BYPASS_FAULTS}": pending})
         if self.fork and faults.current_plan() is None:
             self._run_fork_groups(specs, outcomes, journal)
         rest = [i for i in range(len(specs)) if outcomes[i] is None]
@@ -419,6 +451,12 @@ class SweepRunner:
                     cache.put(specs[i], outcome)
         return outcomes  # type: ignore[return-value]
 
+    def _tally_batch(self, counts: Dict[str, int]) -> None:
+        if self._batch_stats is None:
+            self._batch_stats = {}
+        for name, value in counts.items():
+            self._batch_stats[name] = self._batch_stats.get(name, 0) + value
+
     def _run_batch_groups(
         self,
         specs: List[TrialSpec],
@@ -428,11 +466,18 @@ class SweepRunner:
         """Fill ``outcomes`` slots via batched lockstep execution where
         it applies; anything it cannot cover (ineligible specs, groups
         without enough distinct reference schedules, a failed group)
-        stays None for the fork/cold layers."""
-        from repro.batch.plan import plan_batch_groups
+        stays None for the fork/cold layers.  Planning bypasses, group
+        failures, batched spec counts and lane ejections are tallied
+        into :attr:`_batch_stats`."""
+        from repro.batch.plan import plan_batch_groups_report
 
         pending = [i for i in range(len(specs)) if outcomes[i] is None]
-        groups, _ = plan_batch_groups([specs[i] for i in pending])
+        groups, _, bypassed = plan_batch_groups_report(
+            [specs[i] for i in pending]
+        )
+        self._tally_batch(
+            {f"bypass.{reason}": n for reason, n in bypassed.items()}
+        )
         group_indices = [[pending[j] for j in group] for group in groups]
         if not group_indices:
             return
@@ -446,17 +491,23 @@ class SweepRunner:
         except Exception:
             # Pool-level failure: the fork/cold layers below re-run
             # everything with their own fault tolerance.
-            results = [None] * len(group_indices)
+            results = [(None, 0)] * len(group_indices)
             reset = getattr(self, "_reset_pool", None)
             if reset is not None:
                 reset()
-        for group, group_outcomes in zip(group_indices, results):
+        tally: Dict[str, int] = {}
+        for group, (group_outcomes, ejected) in zip(group_indices, results):
             if group_outcomes is None:
-                continue  # group failed; falls through to fork/cold
+                # Group failed wholesale; falls through to fork/cold.
+                tally["failed"] = tally.get("failed", 0) + len(group)
+                continue
+            tally["batched"] = tally.get("batched", 0) + len(group)
+            tally["ejected"] = tally.get("ejected", 0) + ejected
             for i, outcome in zip(group, group_outcomes):
                 outcomes[i] = outcome
                 if journal is not None and journal.should_record(outcome):
                     journal.record(outcome)
+        self._tally_batch(tally)
 
     def _run_fork_groups(
         self,
@@ -521,6 +572,11 @@ class SweepRunner:
             failures=[o for o in outcomes if not o.ok],
             outcomes=outcomes,
             cache_stats=cache.stats() if cache is not None else None,
+            batch_stats=(
+                dict(self._batch_stats)
+                if self._batch_stats is not None
+                else None
+            ),
         )
         if metrics_path is not None:
             from repro.runner.metrics_io import write_sweep_metrics

@@ -55,6 +55,13 @@ class TrialSpec:
     #: and the full microarchitectural state can be rehydrated later
     #: for inspection.  None (the default) saves nothing.
     snapshot_dir: Optional[str] = None
+    #: Attacker probe-phase addresses: after the victim window ends, the
+    #: attacker evicts its own private copies of each address and issues
+    #: one timed visible read per address (Prime+Probe's probe / §4.1's
+    #: receiver measurement).  The summary then carries
+    #: ``probe_latencies``, one latency per address in order; latencies
+    #: below ``hierarchy.miss_threshold()`` decode as LLC-resident.
+    probe_accesses: Tuple[int, ...] = ()
 
     def label(self) -> str:
         return f"{self.victim}/{self.scheme}/s{self.secret}"
@@ -100,6 +107,9 @@ class TrialSummary:
     #: the state itself: simulator objects never cross process
     #: boundaries.
     snapshot_path: Optional[str] = None
+    #: Observed probe-phase latencies, aligned with the spec's
+    #: ``probe_accesses``; None when the spec scheduled no probe.
+    probe_latencies: Optional[Tuple[int, ...]] = None
 
     def first_access(self, line: int) -> Optional[int]:
         return self.access_cycle.get(line)
@@ -204,6 +214,12 @@ class SweepResult:
     #: per runner instance, so back-to-back runs on one runner report
     #: cumulative totals.
     cache_stats: Optional[Dict[str, int]] = None
+    #: Batched-lockstep accounting for this sweep, when it ran with
+    #: ``batch=True``: ``batched`` / ``ejected`` lane counts plus one
+    #: ``bypass.<reason>`` entry per spec the planner refused
+    #: (``no_numpy`` / ``sanitize`` / ``snapshot`` / ``min_lanes`` /
+    #: ``faults``).  None when batching was off.
+    batch_stats: Optional[Dict[str, int]] = None
 
     def __len__(self) -> int:
         return len(self.summaries)
@@ -270,6 +286,12 @@ class SweepResult:
                     "sweep.trial_cache.hit_rate",
                     self.cache_stats.get("hits", 0) / lookups,
                 )
+        if self.batch_stats:
+            # Same treatment for the batch layer: why specs bypassed the
+            # lockstep mirror (and how many lanes it ran / ejected) is
+            # sweep-level bookkeeping, surfaced as its own subtree.
+            for name, value in sorted(self.batch_stats.items()):
+                merged.inc(f"sweep.batch.{name}", value)
         return merged
 
 

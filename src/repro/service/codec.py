@@ -139,6 +139,7 @@ def spec_to_json(spec: TrialSpec) -> Dict[str, Any]:
         "sanitize": spec.sanitize,
         "collect_metrics": spec.collect_metrics,
         "snapshot_dir": spec.snapshot_dir,
+        "probe_accesses": list(spec.probe_accesses),
     }
 
 
@@ -167,6 +168,9 @@ def spec_from_json(data: Dict[str, Any]) -> TrialSpec:
         sanitize=data["sanitize"],
         collect_metrics=data["collect_metrics"],
         snapshot_dir=data.get("snapshot_dir"),
+        probe_accesses=tuple(
+            int(a) for a in data.get("probe_accesses", ())
+        ),
     )
 
 
@@ -178,6 +182,7 @@ def sweep_result_to_json(result: SweepResult) -> Dict[str, Any]:
         "workers": result.workers,
         "outcomes": [outcome_to_json(o) for o in result.outcomes],
         "cache_stats": result.cache_stats,
+        "batch_stats": result.batch_stats,
     }
 
 
@@ -192,6 +197,7 @@ def sweep_result_from_json(data: Dict[str, Any]) -> SweepResult:
         failures=[o for o in outcomes if not o.ok],
         outcomes=outcomes,
         cache_stats=data.get("cache_stats"),
+        batch_stats=data.get("batch_stats"),
     )
 
 

@@ -276,8 +276,21 @@ def _run_variant(setup, spec: TrialSpec, victim, fork_cycle, fork_snap):
         return None
 
 
-def _summarize(spec: TrialSpec, victim, result) -> TrialSummary:
-    """Build the picklable summary exactly as the cold path does."""
+def _summarize(
+    spec: TrialSpec, victim, result, *, probe_latencies=None
+) -> TrialSummary:
+    """Build the picklable summary exactly as the cold path does.
+
+    Runs the spec's attacker probe phase first (unless the caller
+    already ran it and passes ``probe_latencies``), so metrics and
+    snapshots capture the post-probe state on every execution path.
+    """
+    if spec.probe_accesses and probe_latencies is None:
+        from repro.core.harness import run_probe_phase
+
+        probe_latencies = run_probe_phase(
+            result.machine, spec.probe_accesses
+        )
     metrics = None
     snapshot_path = None
     if spec.collect_metrics:
@@ -306,4 +319,5 @@ def _summarize(spec: TrialSpec, victim, result) -> TrialSummary:
         line_b=victim.line_b,
         metrics=metrics,
         snapshot_path=snapshot_path,
+        probe_latencies=probe_latencies,
     )

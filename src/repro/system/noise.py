@@ -12,10 +12,15 @@ perturbing the replacement state the receiver decodes.
 
 from __future__ import annotations
 
-import random
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.memory.hierarchy import AccessKind
+from repro.memory.stream import (
+    DOMAIN_NOISE_FIRE,
+    DOMAIN_NOISE_INDEX,
+    draw_below,
+    draw_uniform,
+)
 from repro.system.machine import Machine
 
 
@@ -39,7 +44,7 @@ class NoiseInjector:
         self.core_id = core_id
         self.pool: List[int] = list(pool)
         self.rate = rate
-        self._rng = random.Random(seed)
+        self.seed = seed
         self.injected = 0
         self._active = False
 
@@ -50,15 +55,19 @@ class NoiseInjector:
             self._active = True
 
     def _tick(self, cycle: int) -> None:
+        """Counter-based fire/pick: both draws are keyed by ``(seed,
+        cycle)`` alone, so the injection schedule is a pure function of
+        the seed — replayable by forks and lockstep mirrors without any
+        shared generator state."""
         if self.rate <= 0.0:
             return
-        if self._rng.random() >= self.rate:
+        if draw_uniform(self.seed, DOMAIN_NOISE_FIRE, cycle, 0) >= self.rate:
             return
-        addr = self._rng.choice(self.pool)
+        addr = self.pool[draw_below(self.seed, DOMAIN_NOISE_INDEX, cycle, 0, len(self.pool))]
         self.machine.hierarchy.access(
             self.core_id, addr, AccessKind.DATA, visible=True, cycle=cycle
         )
         self.injected += 1
 
     def reseed(self, seed: int) -> None:
-        self._rng = random.Random(seed)
+        self.seed = seed

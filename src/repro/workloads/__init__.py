@@ -24,6 +24,13 @@ from repro.workloads.forward import (
     random_forward_gadget,
 )
 from repro.workloads.generators import RandomProgramConfig, random_program
+from repro.workloads.probe import (
+    decode_probe,
+    probe_addresses,
+    probe_hits,
+    probe_threshold,
+    spec_probe_threshold,
+)
 from repro.workloads.synthetic import (
     SyntheticWorkload,
     synthetic_suite,
@@ -43,6 +50,11 @@ __all__ = [
     "RandomProgramConfig",
     "random_program",
     "SyntheticWorkload",
+    "decode_probe",
+    "probe_addresses",
+    "probe_hits",
+    "probe_threshold",
+    "spec_probe_threshold",
     "synthetic_suite",
     "workload_by_name",
 ]

@@ -1,0 +1,68 @@
+"""Receiver-side probe decoding for the batched probe phase.
+
+A :class:`~repro.runner.spec.TrialSpec` with ``probe_accesses`` set
+runs the attacker's timed probe after the victim window closes (see
+:func:`repro.core.harness.run_probe_phase`), and its summary carries
+``probe_latencies``.  These helpers turn that latency vector back into
+the receiver's observation: which monitored lines the victim left in
+the LLC, and — for the two-line victims — the secret bit that implies.
+
+The decoding is the cache-occupancy read of §4.1: a probe latency below
+the hierarchy's miss threshold means the line was LLC-resident when the
+attacker reloaded it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.victims import ATTACK_HIERARCHY, VictimSpec
+from repro.memory.hierarchy import HierarchyConfig
+from repro.runner.spec import TrialSpec, TrialSummary
+
+
+def probe_addresses(victim: VictimSpec) -> Tuple[int, ...]:
+    """The probe schedule for a victim: its monitored lines, A then B
+    (single-line victims probe just A)."""
+    return tuple(
+        line for line in (victim.line_a, victim.line_b) if line is not None
+    )
+
+
+def probe_threshold(config: Optional[HierarchyConfig] = None) -> int:
+    """The hit/miss latency threshold a spec's probe decodes against —
+    ``CacheHierarchy.miss_threshold()`` computed from the config alone
+    (None means the default :data:`ATTACK_HIERARCHY`, matching what the
+    runner builds for ``hierarchy_config=None``)."""
+    cfg = config if config is not None else ATTACK_HIERARCHY
+    llc_hit = cfg.l1d.latency + cfg.l2.latency + cfg.llc.latency
+    return llc_hit + cfg.dram_latency // 2
+
+
+def spec_probe_threshold(spec: TrialSpec) -> int:
+    """:func:`probe_threshold` for the hierarchy this spec runs on."""
+    return probe_threshold(spec.hierarchy_config)
+
+
+def probe_hits(
+    latencies: Sequence[int], threshold: int
+) -> Tuple[bool, ...]:
+    """Per-address LLC residency: True where the probe hit."""
+    return tuple(latency < threshold for latency in latencies)
+
+
+def decode_probe(summary: TrialSummary, threshold: int) -> Optional[int]:
+    """The secret bit a two-line probe observed, or None when the probe
+    is absent/ambiguous.
+
+    Assumes the spec probed ``(line_a, line_b)`` — the
+    :func:`probe_addresses` schedule — so latency 0 is line A and
+    latency 1 is line B.  Exactly one resident line decodes (A → 0,
+    B → 1); none or both is no signal.
+    """
+    if summary.probe_latencies is None or len(summary.probe_latencies) != 2:
+        return None
+    hit_a, hit_b = probe_hits(summary.probe_latencies, threshold)
+    if hit_a == hit_b:
+        return None
+    return 1 if hit_b else 0

@@ -37,14 +37,89 @@ def _spec(**kw):
 def test_eligibility_gates():
     assert batch_eligible(_spec())
     assert not batch_eligible(_spec(sanitize=True))
-    assert not batch_eligible(_spec(noise_rate=0.1))
-    assert not batch_eligible(_spec(collect_metrics=True))
     assert not batch_eligible(_spec(snapshot_dir="/tmp/snaps"))
+    # Since the counter-based RNG streams, jitter, noise and metrics
+    # all batch — they re-partition into per-(secret, seed) cohorts or
+    # project per-lane registries instead of bypassing.
+    assert batch_eligible(_spec(noise_rate=0.1, noise_pool=(ADDR_REF,)))
+    assert batch_eligible(_spec(collect_metrics=True))
     jitter = HierarchyConfig(dram_jitter=5)
-    assert not batch_eligible(_spec(hierarchy_config=jitter))
+    assert batch_eligible(_spec(hierarchy_config=jitter))
     assert batch_eligible(
         _spec(hierarchy_config=HierarchyConfig(dram_jitter=0))
     )
+
+
+def test_stream_dependence_probe():
+    assert not batch_plan.stream_dependent(_spec())
+    assert batch_plan.stream_dependent(
+        _spec(noise_rate=0.1, noise_pool=(ADDR_REF,))
+    )
+    assert batch_plan.stream_dependent(
+        _spec(hierarchy_config=HierarchyConfig(dram_jitter=3))
+    )
+    # hierarchy_config=None resolves through the explicit default-probe:
+    # the module-level ATTACK_HIERARCHY is jitter-free today, and the
+    # probe (not an implicit assumption) is what says so.
+    from repro.core.victims import ATTACK_HIERARCHY
+
+    assert batch_plan.effective_dram_jitter(_spec()) == (
+        ATTACK_HIERARCHY.dram_jitter
+    )
+    assert (
+        batch_plan.effective_dram_jitter(
+            _spec(hierarchy_config=HierarchyConfig(dram_jitter=7))
+        )
+        == 7
+    )
+
+
+def test_stream_dependent_groups_need_lanes_within_a_seed():
+    """A stream-dependent pair differing only in seed cannot share a
+    cohort (no cross-seed relabeling), so it is not worth mirroring —
+    but two schedules within one seed are."""
+    jitter = HierarchyConfig(dram_jitter=5)
+    seed_only = [
+        _spec(hierarchy_config=jitter, seed=1),
+        _spec(hierarchy_config=jitter, seed=2),
+    ]
+    groups, passthrough, bypassed = batch_plan.plan_batch_groups_report(
+        seed_only
+    )
+    assert groups == []
+    assert passthrough == [0, 1]
+    assert bypassed == {batch_plan.BYPASS_MIN_LANES: 2}
+    lanes_in_seed = [
+        _spec(hierarchy_config=jitter, seed=1, reference_accesses=REFS_A),
+        _spec(hierarchy_config=jitter, seed=1, reference_accesses=REFS_B),
+        _spec(hierarchy_config=jitter, seed=2, reference_accesses=REFS_A),
+    ]
+    groups, passthrough, bypassed = batch_plan.plan_batch_groups_report(
+        lanes_in_seed
+    )
+    assert groups == [[0, 1, 2]]
+    assert passthrough == []
+    assert bypassed == {}
+
+
+def test_plan_report_tallies_bypass_reasons():
+    specs = [
+        _spec(secret=0, reference_accesses=REFS_A),
+        _spec(secret=1, reference_accesses=REFS_B),
+        _spec(sanitize=True),
+        _spec(snapshot_dir="/tmp/snaps"),
+        _spec(scheme="muontrap"),
+    ]
+    groups, passthrough, bypassed = batch_plan.plan_batch_groups_report(
+        specs
+    )
+    assert groups == [[0, 1]]
+    assert passthrough == [2, 3, 4]
+    assert bypassed == {
+        batch_plan.BYPASS_SANITIZE: 1,
+        batch_plan.BYPASS_SNAPSHOT: 1,
+        batch_plan.BYPASS_MIN_LANES: 1,
+    }
 
 
 def test_group_key_normalizes_batchable_dimensions():

@@ -1,0 +1,188 @@
+"""Counter-based RNG stream: determinism, seq semantics, SoA parity.
+
+The whole point of :mod:`repro.memory.stream` is that a draw is a pure
+function of its key, so three independent consumers — the scalar
+:class:`MainMemory`, a restored snapshot, and the vectorized twin in
+:mod:`repro.batch.ops` — reconstruct identical values.  These tests pin
+each of those contracts.
+"""
+
+import pytest
+
+from repro.memory.main_memory import MainMemory
+from repro.memory.stream import (
+    DOMAIN_DRAM,
+    DOMAIN_NOISE_FIRE,
+    DOMAIN_NOISE_INDEX,
+    MASK64,
+    CounterStream,
+    draw_below,
+    draw_uniform,
+    mix64,
+    stream_word,
+)
+
+
+# ----------------------------------------------------------------------
+# the scalar mixer
+# ----------------------------------------------------------------------
+def test_mix64_is_deterministic_and_64_bit():
+    assert mix64(0x1234) == mix64(0x1234)
+    for x in (0, 1, MASK64, 0xDEADBEEF):
+        assert 0 <= mix64(x) <= MASK64
+    # Bijective finalizer: distinct inputs in a small range stay distinct.
+    outs = {mix64(x) for x in range(4096)}
+    assert len(outs) == 4096
+
+
+def test_stream_word_keys_every_field():
+    base = stream_word(7, DOMAIN_DRAM, 100, 0)
+    assert stream_word(7, DOMAIN_DRAM, 100, 0) == base
+    assert stream_word(8, DOMAIN_DRAM, 100, 0) != base
+    assert stream_word(7, DOMAIN_DRAM + 1, 100, 0) != base
+    assert stream_word(7, DOMAIN_DRAM, 101, 0) != base
+    assert stream_word(7, DOMAIN_DRAM, 100, 1) != base
+
+
+def test_domains_do_not_alias():
+    """A noise decision at cycle t never perturbs the jitter drawn at
+    the same cycle — the property that keeps lockstep lanes converged."""
+    words = {
+        stream_word(7, domain, 50, 0)
+        for domain in (DOMAIN_DRAM, DOMAIN_NOISE_FIRE, DOMAIN_NOISE_INDEX)
+    }
+    assert len(words) == 3
+
+
+def test_draw_below_and_uniform_ranges():
+    for seq in range(64):
+        assert 0 <= draw_below(3, DOMAIN_DRAM, 9, seq, 6) < 6
+        assert 0.0 <= draw_uniform(3, DOMAIN_NOISE_FIRE, 9, seq) < 1.0
+
+
+# ----------------------------------------------------------------------
+# the scalar consumer
+# ----------------------------------------------------------------------
+def test_counter_stream_seq_semantics():
+    stream = CounterStream(11)
+    # Repeated draws at one (cycle, core) key count up...
+    assert stream.next_seq(40, 0) == 0
+    assert stream.next_seq(40, 0) == 1
+    assert stream.next_seq(40, 0) == 2
+    # ...a new key resets, even back at a previously-seen cycle.
+    assert stream.next_seq(40, 2) == 0
+    assert stream.next_seq(41, 2) == 0
+    assert stream.next_seq(40, 0) == 0
+
+
+def test_counter_stream_draws_are_reconstructible():
+    """Two streams with the same seed replaying the same key sequence
+    produce identical draws — draw sites share no hidden state."""
+    a = CounterStream(99)
+    b = CounterStream(99)
+    keys = [(10, 0), (10, 0), (10, 2), (11, 0), (11, 0), (11, 0)]
+    assert [a.jitter_draw(c, k, 5) for c, k in keys] == [
+        b.jitter_draw(c, k, 5) for c, k in keys
+    ]
+    # And each value is exactly the pure-function draw for its key.
+    c = CounterStream(99)
+    d = CounterStream(99)
+    for cycle, core in keys:
+        seq = c.next_seq(cycle, core)
+        assert d.jitter_draw(cycle, core, 5) == draw_below(
+            99, DOMAIN_DRAM + core, cycle, seq, 6
+        )
+
+
+def test_counter_stream_state_round_trip():
+    stream = CounterStream(5)
+    stream.jitter_draw(100, 1, 7)
+    stream.jitter_draw(100, 1, 7)
+    saved = stream.state()
+    next_direct = stream.jitter_draw(100, 1, 7)
+    restored = CounterStream.from_state(saved)
+    assert restored.jitter_draw(100, 1, 7) == next_direct
+
+
+# ----------------------------------------------------------------------
+# MainMemory integration
+# ----------------------------------------------------------------------
+def test_main_memory_jitter_is_keyed_not_sequenced():
+    """Two memories with one seed agree draw-for-draw, and a capture /
+    restore replays the identical suffix."""
+    a = MainMemory(latency=200, jitter=9, seed=42)
+    b = MainMemory(latency=200, jitter=9, seed=42)
+    keys = [(5, 0), (5, 0), (6, 2), (7, 0)]
+    assert [a.access_latency(c, k) for c, k in keys] == [
+        b.access_latency(c, k) for c, k in keys
+    ]
+    saved = a.capture()
+    tail = [a.access_latency(8, 0), a.access_latency(8, 0)]
+    a.restore(saved)
+    assert [a.access_latency(8, 0), a.access_latency(8, 0)] == tail
+
+
+def test_main_memory_zero_jitter_touches_no_stream_state():
+    mem = MainMemory(latency=150, jitter=0, seed=3)
+    before = mem.capture()[1]
+    assert mem.access_latency(100, 0) == 150
+    assert mem.capture()[1] == before
+
+
+def test_main_memory_reseed_restarts_the_stream():
+    a = MainMemory(latency=200, jitter=9, seed=1)
+    a.access_latency(5, 0)
+    a.reseed(1)
+    b = MainMemory(latency=200, jitter=9, seed=1)
+    assert a.access_latency(5, 0) == b.access_latency(5, 0)
+
+
+# ----------------------------------------------------------------------
+# vectorized parity (the lockstep mirror's twin)
+# ----------------------------------------------------------------------
+def test_vectorized_stream_matches_scalar():
+    np = pytest.importorskip("numpy")
+    from repro.batch.ops import stream_words
+
+    seeds = np.array([0, 1, 7, 99, MASK64], dtype=np.uint64)
+    seqs = np.array([0, 1, 2, 0, 3], dtype=np.int64)
+    for domain in (DOMAIN_DRAM, DOMAIN_DRAM + 2, DOMAIN_NOISE_FIRE):
+        for cycle in (0, 1, 123456):
+            words = stream_words(seeds, domain, cycle, seqs)
+            for j in range(len(seeds)):
+                assert int(words[j]) == stream_word(
+                    int(seeds[j]), domain, cycle, int(seqs[j])
+                )
+
+
+def test_vectorized_jitter_draws_match_counter_streams():
+    """stream_jitter_draws advances per-lane seq state and draws exactly
+    as one scalar CounterStream per lane would."""
+    np = pytest.importorskip("numpy")
+    from types import SimpleNamespace
+
+    from repro.batch.ops import stream_jitter_draws
+
+    n, jitter = 4, 6
+    seed = 1234
+    state = SimpleNamespace(
+        stream_seed=np.full(n, seed, dtype=np.uint64),
+        stream_cycle=np.full(n, -1, dtype=np.int64),
+        stream_core=np.full(n, -1, dtype=np.int64),
+        stream_seq=np.full(n, -1, dtype=np.int64),
+    )
+    scalars = [CounterStream(seed) for _ in range(n)]
+    lanes = np.arange(n)
+    for cycle, core in [(10, 0), (10, 0), (10, 2), (12, 0), (12, 0)]:
+        draws = stream_jitter_draws(state, lanes, cycle, core, jitter)
+        expect = [s.jitter_draw(cycle, core, jitter) for s in scalars]
+        assert list(draws) == expect
+    # Partial-lane draws (only some lanes miss) stay per-lane exact.
+    sub = np.array([1, 3])
+    draws = stream_jitter_draws(state, sub, 13, 0, jitter)
+    assert list(draws) == [
+        scalars[1].jitter_draw(13, 0, jitter),
+        scalars[3].jitter_draw(13, 0, jitter),
+    ]
+    untouched = stream_jitter_draws(state, np.array([0]), 12, 0, jitter)
+    assert list(untouched) == [scalars[0].jitter_draw(12, 0, jitter)]
